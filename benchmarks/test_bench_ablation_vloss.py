@@ -1,0 +1,78 @@
+"""E9 -- ablation: constant virtual loss [Chaslot 2008] vs WU-UCT [Liu 2020].
+
+Section 2.1 notes both VL styles; this ablation quantifies the design
+choice on the shared-tree scheme: path diversity (how well concurrent
+workers spread over the tree), tree shape, and per-iteration latency.
+Constant VL penalises in-flight paths with fake losses, so it should
+spread workers at least as widely as WU-UCT's visit-count-only tracking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mcts.virtual_loss import ConstantVirtualLoss, NoVirtualLoss, WUVirtualLoss
+from repro.simulator import SharedTreeSimulation
+from benchmarks.conftest import PLAYOUTS
+
+POLICIES = [
+    ("none", NoVirtualLoss),
+    ("constant", lambda: ConstantVirtualLoss(weight=3.0)),
+    ("wu_uct", WUVirtualLoss),
+]
+
+
+def root_visit_entropy(root):
+    """Entropy of the root visit distribution: higher = more spread."""
+    visits = np.array([c.visit_count for c in root.children.values()], dtype=float)
+    p = visits / visits.sum()
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(gomoku, evaluator, platform):
+    rows = []
+    for name, factory in POLICIES:
+        r = SharedTreeSimulation(
+            gomoku, evaluator, platform, num_workers=16, vl_policy=factory()
+        ).run(PLAYOUTS)
+        rows.append(
+            {
+                "vl_policy": name,
+                "per_iter_us": round(r.per_iteration * 1e6, 2),
+                "tree_size": r.tree_size,
+                "tree_depth": r.tree_depth,
+                "root_entropy": round(root_visit_entropy(r.root), 4),
+                "lock_wait_us": round(r.lock_wait * 1e6, 1),
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_vloss(benchmark, ablation_rows, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "E9_ablation_virtual_loss",
+        ablation_rows,
+        note="VL-style ablation on the shared tree, N=16 (Section 2.1's "
+        "design choice)",
+    )
+
+
+def test_all_policies_complete_budget(ablation_rows, gomoku):
+    for row in ablation_rows:
+        assert row["tree_size"] > 0
+
+
+def test_virtual_loss_increases_spread(ablation_rows):
+    """Both VL styles must spread concurrent workers at least as widely
+    as no-VL (the whole point of virtual loss, Section 2.1)."""
+    by_name = {r["vl_policy"]: r for r in ablation_rows}
+    assert by_name["constant"]["root_entropy"] >= by_name["none"]["root_entropy"] - 0.05
+    assert by_name["wu_uct"]["root_entropy"] >= by_name["none"]["root_entropy"] - 0.05
+
+
+def test_latencies_comparable(ablation_rows):
+    """VL choice changes search behaviour, not the latency regime."""
+    lats = [r["per_iter_us"] for r in ablation_rows]
+    assert max(lats) / min(lats) < 1.5

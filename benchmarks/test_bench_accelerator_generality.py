@@ -1,0 +1,89 @@
+"""E11 -- generality of the workflow across accelerator types.
+
+The paper's conclusion: "Our method and performance models are general
+and can also be adopted in the context of many other types of
+accelerators for DNN inference and training (FPGAs, ASICs (e.g., TPUs),
+etc.)".  This benchmark runs the complete design-configuration workflow
+(Equations 4/6 + Algorithm 4) against three accelerator models -- the
+paper's A6000, a TPU-like ASIC (long launch, cheap marginal samples) and
+an FPGA-like dataflow engine (tiny launch, expensive marginal samples) --
+and reports how the chosen scheme and batch size shift with the
+accelerator's character.
+"""
+
+import pytest
+
+from repro.perfmodel import DesignConfigurator, profile_virtual
+from repro.simulator import paper_platform
+from repro.simulator.hardware import fpga_like_accelerator, tpu_like_accelerator
+from benchmarks.conftest import PLAYOUTS
+
+WORKERS = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def generality_rows(gomoku, platform):
+    prof = profile_virtual(gomoku, platform, num_playouts=PLAYOUTS)
+    accelerators = [
+        ("A6000 (paper)", paper_platform().gpu),
+        ("TPU-like", tpu_like_accelerator()),
+        ("FPGA-like", fpga_like_accelerator()),
+    ]
+    rows = []
+    for label, spec in accelerators:
+        configurator = DesignConfigurator(prof, spec)
+        for n in WORKERS:
+            cfg = configurator.configure_gpu(n)
+            rows.append(
+                {
+                    "accelerator": label,
+                    "N": n,
+                    "scheme": cfg.scheme.value,
+                    "B": cfg.batch_size,
+                    "latency_us": round(cfg.predicted_latency * 1e6, 2),
+                    "test_runs": cfg.batch_search.test_runs,
+                }
+            )
+    return rows
+
+
+def test_bench_accelerator_generality(benchmark, generality_rows, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "E11_accelerator_generality",
+        generality_rows,
+        note="design-configuration workflow across accelerator types "
+        "(paper conclusion's FPGA/ASIC generalisation)",
+    )
+
+
+def test_every_accelerator_configures(generality_rows):
+    for row in generality_rows:
+        assert 1 <= row["B"] <= row["N"]
+        assert row["latency_us"] > 0
+
+
+def test_batch_search_stays_logarithmic(generality_rows):
+    for row in generality_rows:
+        assert row["test_runs"] <= 2 * row["N"].bit_length() + 2
+
+
+def test_tpu_batches_at_least_as_large_as_fpga(generality_rows):
+    by = {(r["accelerator"], r["N"]): r for r in generality_rows}
+    for n in WORKERS:
+        assert by[("TPU-like", n)]["B"] >= by[("FPGA-like", n)]["B"]
+
+
+def test_configurations_differ_across_accelerators(generality_rows):
+    """The workflow must actually *adapt*: at least one N where the
+    accelerators disagree on scheme or batch size."""
+    differs = False
+    by = {(r["accelerator"], r["N"]): r for r in generality_rows}
+    for n in WORKERS:
+        configs = {
+            (by[(acc, n)]["scheme"], by[(acc, n)]["B"])
+            for acc in ("A6000 (paper)", "TPU-like", "FPGA-like")
+        }
+        if len(configs) > 1:
+            differs = True
+    assert differs

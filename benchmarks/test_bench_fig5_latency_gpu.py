@@ -1,0 +1,108 @@
+"""E4 -- Figure 5: per-worker-iteration latency, CPU-GPU, batched inference.
+
+Shared tree (full batch B=N through the accelerator queue) vs local tree
+(full batch) vs local tree with the Algorithm-4 batch size B*, plus the
+adaptive choice.
+
+Paper shape targets: shared tree starts outperforming the full-batch
+local tree from N=16 up; with B* from Algorithm 4 the local tree wins
+back the large-N regime (32, 64); the adaptive configuration is never
+worse than either fixed baseline, up to ~3x better in the paper.
+"""
+
+import pytest
+
+from repro.parallel.base import SchemeName
+from repro.perfmodel import DesignConfigurator, profile_virtual
+from repro.simulator import LocalTreeSimulation, SharedTreeSimulation
+from benchmarks.conftest import PLAYOUTS
+
+WORKERS = (4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def fig5_rows(gomoku, evaluator, platform):
+    prof = profile_virtual(gomoku, platform, num_playouts=PLAYOUTS)
+    configurator = DesignConfigurator(prof, platform.gpu)
+    rows = []
+    for n in WORKERS:
+        shared = SharedTreeSimulation(
+            gomoku, evaluator, platform, num_workers=n, use_gpu=True
+        ).run(PLAYOUTS)
+
+        def measure(b):
+            return (
+                LocalTreeSimulation(
+                    gomoku, evaluator, platform, num_workers=n, batch_size=b,
+                    use_gpu=True,
+                )
+                .run(PLAYOUTS)
+                .per_iteration
+            )
+
+        local_full = measure(n)
+        cfg = configurator.configure_gpu(
+            n, measure=measure, measured_shared=shared.per_iteration
+        )
+        local_best = cfg.batch_search.best_latency
+        adaptive = (
+            shared.per_iteration
+            if cfg.scheme == SchemeName.SHARED_TREE
+            else local_best
+        )
+        rows.append(
+            {
+                "N": n,
+                "shared_us": round(shared.per_iteration * 1e6, 2),
+                "local_full_us": round(local_full * 1e6, 2),
+                "local_Bstar_us": round(local_best * 1e6, 2),
+                "Bstar": cfg.batch_search.best_batch,
+                "adaptive_us": round(adaptive * 1e6, 2),
+                "adaptive_scheme": cfg.scheme.value,
+                "test_runs": cfg.batch_search.test_runs,
+                "speedup_vs_worse_fixed": round(
+                    max(shared.per_iteration, local_full) / adaptive, 3
+                ),
+            }
+        )
+    return rows
+
+
+def test_bench_fig5_gpu_latency(benchmark, gomoku, evaluator, platform, fig5_rows, emit):
+    benchmark.pedantic(
+        lambda: SharedTreeSimulation(
+            gomoku, evaluator, platform, num_workers=32, use_gpu=True
+        ).run(PLAYOUTS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "E4_fig5_latency_gpu",
+        fig5_rows,
+        note="paper Figure 5: shared beats local-full-batch from N>=16; "
+        "local+B* wins at N=32/64; adaptive <= both (paper: up to 3.07x)",
+    )
+
+
+def test_fig5_shared_beats_local_full_at_scale(fig5_rows):
+    for row in fig5_rows:
+        if row["N"] >= 16:
+            assert row["shared_us"] < row["local_full_us"], row
+
+
+def test_fig5_local_bstar_wins_large_n(fig5_rows):
+    for row in fig5_rows:
+        if row["N"] >= 32:
+            assert row["local_Bstar_us"] < row["shared_us"], row
+            assert row["adaptive_scheme"] == "local_tree"
+
+
+def test_fig5_adaptive_never_worse(fig5_rows):
+    for row in fig5_rows:
+        assert row["adaptive_us"] <= min(row["shared_us"], row["local_full_us"]) * 1.02
+
+
+def test_fig5_batch_search_logarithmic(fig5_rows):
+    """Algorithm 4 ran O(log N) test runs, not N."""
+    for row in fig5_rows:
+        assert row["test_runs"] <= 2 * row["N"].bit_length() + 2, row

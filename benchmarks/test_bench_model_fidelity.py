@@ -1,0 +1,85 @@
+"""E8 -- ablation: fidelity of the Equation 3-6 performance models.
+
+The paper's workflow trusts the analytic models to choose the scheme at
+compile time ("our method using adaptive parallelism is able to always
+choose the optimal method").  This benchmark quantifies that trust on the
+simulated platform: for a grid of worker counts, compare the
+model-predicted winner against the DES-measured winner, and the regret
+(measured latency of the model's choice over the measured optimum).
+"""
+
+import pytest
+
+from repro.parallel.base import SchemeName
+from repro.perfmodel import DesignConfigurator, profile_virtual
+from repro.simulator import LocalTreeSimulation, SharedTreeSimulation
+from benchmarks.conftest import PLAYOUTS
+
+WORKERS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def fidelity_rows(gomoku, evaluator, platform):
+    prof = profile_virtual(gomoku, platform, num_playouts=PLAYOUTS)
+    configurator = DesignConfigurator(prof, platform.gpu)
+    rows = []
+    for n in WORKERS:
+        cfg = configurator.configure_cpu(n)
+        shared = SharedTreeSimulation(gomoku, evaluator, platform, num_workers=n).run(
+            PLAYOUTS
+        )
+        local = LocalTreeSimulation(gomoku, evaluator, platform, num_workers=n).run(
+            PLAYOUTS
+        )
+        measured = {
+            SchemeName.SHARED_TREE: shared.per_iteration,
+            SchemeName.LOCAL_TREE: local.per_iteration,
+        }
+        actual_best = min(measured, key=measured.get)
+        regret = measured[cfg.scheme] / measured[actual_best]
+        rows.append(
+            {
+                "N": n,
+                "model_choice": cfg.scheme.value,
+                "measured_best": actual_best.value,
+                "model_pred_us": round(cfg.predicted_latency * 1e6, 2),
+                "measured_us": round(measured[cfg.scheme] * 1e6, 2),
+                "pred_error_pct": round(
+                    100.0
+                    * abs(cfg.predicted_latency - measured[cfg.scheme])
+                    / measured[cfg.scheme],
+                    1,
+                ),
+                "regret": round(regret, 4),
+            }
+        )
+    return rows
+
+
+def test_bench_model_fidelity(benchmark, fidelity_rows, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "E8_model_fidelity",
+        fidelity_rows,
+        note="model-predicted scheme vs DES-measured winner (CPU grid); "
+        "the paper asserts the model-guided choice is always optimal",
+    )
+
+
+def test_model_choice_regret_small(fidelity_rows):
+    """Even when the model picks the 'wrong' scheme in a near-tie, the
+    latency cost must be marginal (< 5%)."""
+    for row in fidelity_rows:
+        assert row["regret"] <= 1.05, row
+
+
+def test_model_agreement_majority(fidelity_rows):
+    agree = sum(1 for r in fidelity_rows if r["model_choice"] == r["measured_best"])
+    assert agree >= len(fidelity_rows) - 1
+
+
+def test_model_prediction_error_bounded(fidelity_rows):
+    """Predicted latencies track measurements within 30% across the grid
+    (design-time models, not cycle-accurate simulation)."""
+    for row in fidelity_rows:
+        assert row["pred_error_pct"] < 30.0, row

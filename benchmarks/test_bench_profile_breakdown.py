@@ -1,0 +1,43 @@
+"""E1 -- Section 2.1 profiling claim.
+
+"In our initial profiling of the sequential DNN-MCTS on Gomoku
+benchmarks, the tree-based search stage accounts for more than 85% of the
+complete training process."
+
+We reproduce this on the virtual platform: price one serial Algorithm-1
+iteration (tree-based search for a move's worth of playouts + the SGD
+stage) with the paper-platform latency model and report the split.
+"""
+
+import pytest
+
+from repro.perfmodel import profile_virtual
+from benchmarks.conftest import PLAYOUTS
+
+
+def compute_breakdown(gomoku, platform):
+    prof = profile_virtual(gomoku, platform, num_playouts=PLAYOUTS)
+    # tree-based search stage: in-tree ops + one DNN inference per playout
+    search = PLAYOUTS * (prof.in_tree_local + prof.t_dnn_cpu)
+    # DNN training stage: a typical per-move SGD budget (5 batches of 512,
+    # each a forward+backward ~ 3x inference cost on the same hardware)
+    sgd_batches = 5
+    train = sgd_batches * 3.0 * prof.t_dnn_cpu
+    total = search + train
+    return {
+        "search_ms": search * 1e3,
+        "train_ms": train * 1e3,
+        "search_share_pct": 100.0 * search / total,
+    }
+
+
+def test_bench_profile_breakdown(benchmark, gomoku, platform, emit):
+    row = benchmark.pedantic(
+        compute_breakdown, args=(gomoku, platform), rounds=1, iterations=1
+    )
+    emit(
+        "E1_profile_breakdown",
+        [row],
+        note="paper: tree-based search >= 85% of a serial DNN-MCTS iteration",
+    )
+    assert row["search_share_pct"] > 85.0

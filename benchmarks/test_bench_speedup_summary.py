@@ -1,0 +1,100 @@
+"""E7 -- Section 5 headline numbers.
+
+- CPU-only: adaptive parallelism up to 1.5x over the better-known fixed
+  scheme's *loser* (Figure 4's summary claim).
+- CPU-GPU: up to 3.07x (Figure 5's summary claim).
+- Algorithm 4 explores O(log N) batch sizes instead of N (Section 4.2).
+
+Our absolute factors differ (the substrate is a calibrated simulator, see
+EXPERIMENTS.md) but the direction -- adaptive >= best fixed, with a
+meaningful margin over the worse fixed choice at some N -- must hold.
+"""
+
+import pytest
+
+from repro.parallel.base import SchemeName
+from repro.perfmodel import DesignConfigurator, profile_virtual
+from repro.simulator import LocalTreeSimulation, SharedTreeSimulation
+from benchmarks.conftest import PLAYOUTS
+
+WORKERS = (4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def summary_rows(gomoku, evaluator, platform):
+    prof = profile_virtual(gomoku, platform, num_playouts=PLAYOUTS)
+    configurator = DesignConfigurator(prof, platform.gpu)
+    rows = []
+    for use_gpu in (False, True):
+        for n in WORKERS:
+            shared = SharedTreeSimulation(
+                gomoku, evaluator, platform, num_workers=n, use_gpu=use_gpu
+            ).run(PLAYOUTS)
+            if use_gpu:
+
+                def measure(b):
+                    return (
+                        LocalTreeSimulation(
+                            gomoku, evaluator, platform, num_workers=n,
+                            batch_size=b, use_gpu=True,
+                        )
+                        .run(PLAYOUTS)
+                        .per_iteration
+                    )
+
+                cfg = configurator.configure_gpu(
+                    n, measure=measure, measured_shared=shared.per_iteration
+                )
+                local_fixed = measure(n)  # full-batch fixed baseline
+                adaptive = (
+                    shared.per_iteration
+                    if cfg.scheme == SchemeName.SHARED_TREE
+                    else cfg.batch_search.best_latency
+                )
+            else:
+                cfg = configurator.configure_cpu(n)
+                local_fixed = (
+                    LocalTreeSimulation(gomoku, evaluator, platform, num_workers=n)
+                    .run(PLAYOUTS)
+                    .per_iteration
+                )
+                adaptive = min(shared.per_iteration, local_fixed)
+            rows.append(
+                {
+                    "platform": "CPU-GPU" if use_gpu else "CPU",
+                    "N": n,
+                    "adaptive_scheme": cfg.scheme.value,
+                    "adaptive_us": round(adaptive * 1e6, 2),
+                    "speedup_vs_shared": round(shared.per_iteration / adaptive, 3),
+                    "speedup_vs_local": round(local_fixed / adaptive, 3),
+                    "speedup_vs_worse": round(
+                        max(shared.per_iteration, local_fixed) / adaptive, 3
+                    ),
+                }
+            )
+    return rows
+
+
+def test_bench_speedup_summary(benchmark, summary_rows, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "E7_speedup_summary",
+        summary_rows,
+        note="paper: up to 1.5x (CPU) / 3.07x (CPU-GPU) over fixed schemes",
+    )
+
+
+def test_adaptive_never_slower_than_both(summary_rows):
+    for row in summary_rows:
+        assert row["speedup_vs_shared"] >= 0.999, row
+        assert row["speedup_vs_local"] >= 0.999, row
+
+
+def test_meaningful_cpu_speedup_somewhere(summary_rows):
+    cpu = [r for r in summary_rows if r["platform"] == "CPU"]
+    assert max(r["speedup_vs_worse"] for r in cpu) >= 1.2
+
+
+def test_meaningful_gpu_speedup_somewhere(summary_rows):
+    gpu = [r for r in summary_rows if r["platform"] == "CPU-GPU"]
+    assert max(r["speedup_vs_worse"] for r in gpu) >= 1.4

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+configure : run the design-configuration workflow (Sections 3.2/4.2) for
+    a game + platform and print the chosen scheme / batch size.
+simulate  : execute one move's tree-based search on the virtual platform
+    and print the timing summary (the unit the figures are built from).
+train     : run the Algorithm-1 training loop at small scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_game(name: str, size: int):
+    from repro.games import ConnectFour, Gomoku, TicTacToe
+
+    if name == "gomoku":
+        return Gomoku(size, min(5, size))
+    if name == "tictactoe":
+        return TicTacToe()
+    if name == "connect4":
+        return ConnectFour()
+    raise ValueError(f"unknown game {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive-parallel DNN-guided MCTS (SC'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cfg = sub.add_parser("configure", help="design-configuration workflow")
+    p_cfg.add_argument("--game", default="gomoku", choices=["gomoku", "tictactoe", "connect4"])
+    p_cfg.add_argument("--size", type=int, default=15, help="board size (gomoku)")
+    p_cfg.add_argument("--workers", type=int, default=16)
+    p_cfg.add_argument("--gpu", action="store_true", help="CPU-GPU platform")
+    p_cfg.add_argument("--profile-playouts", type=int, default=300)
+
+    p_sim = sub.add_parser("simulate", help="virtual-time search of one move")
+    p_sim.add_argument("--game", default="gomoku", choices=["gomoku", "tictactoe", "connect4"])
+    p_sim.add_argument("--size", type=int, default=15)
+    p_sim.add_argument("--scheme", default="local", choices=["shared", "local"])
+    p_sim.add_argument("--workers", type=int, default=16)
+    p_sim.add_argument("--batch", type=int, default=1, help="local-tree sub-batch B")
+    p_sim.add_argument("--gpu", action="store_true")
+    p_sim.add_argument("--playouts", type=int, default=400)
+
+    p_train = sub.add_parser("train", help="Algorithm-1 training loop")
+    p_train.add_argument("--game", default="tictactoe", choices=["gomoku", "tictactoe", "connect4"])
+    p_train.add_argument("--size", type=int, default=6)
+    p_train.add_argument("--episodes", type=int, default=5)
+    p_train.add_argument("--playouts", type=int, default=40)
+    p_train.add_argument("--workers", type=int, default=4)
+    p_train.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_configure(args) -> int:
+    from repro.perfmodel import DesignConfigurator, profile_virtual
+    from repro.simulator import paper_platform
+
+    platform = paper_platform()
+    game = _make_game(args.game, args.size)
+    profile = profile_virtual(game, platform, num_playouts=args.profile_playouts)
+    configurator = DesignConfigurator(profile, platform.gpu)
+    config = configurator.configure(args.workers, use_gpu=args.gpu)
+    print(f"platform : {platform.cpu.name}" + (f" + {platform.gpu.name}" if args.gpu else ""))
+    print(f"game     : {args.game} ({game.board_shape[0]}x{game.board_shape[1]}, "
+          f"fanout~{profile.mean_expand_children:.0f})")
+    print(f"workers  : {args.workers}")
+    print(f"scheme   : {config.scheme.value}")
+    print(f"batch B  : {config.batch_size}")
+    print(f"predicted: {config.predicted_latency * 1e6:.1f} us/iteration")
+    for name, latency in config.candidates.items():
+        print(f"  candidate {name}: {latency * 1e6:.1f} us")
+    if config.batch_search is not None:
+        print(f"  Algorithm-4 test runs: {config.batch_search.test_runs} "
+              f"(naive: {args.workers})")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.mcts import UniformEvaluator
+    from repro.simulator import (
+        LocalTreeSimulation,
+        SharedTreeSimulation,
+        paper_platform,
+    )
+
+    platform = paper_platform()
+    game = _make_game(args.game, args.size)
+    if args.scheme == "shared":
+        sim = SharedTreeSimulation(
+            game, UniformEvaluator(), platform, num_workers=args.workers,
+            use_gpu=args.gpu,
+        )
+    else:
+        sim = LocalTreeSimulation(
+            game, UniformEvaluator(), platform, num_workers=args.workers,
+            batch_size=args.batch, use_gpu=args.gpu,
+        )
+    result = sim.run(args.playouts)
+    for key, value in result.summary().items():
+        print(f"{key:12s} {value}")
+    for tag, seconds in sorted(result.compute_by_tag.items()):
+        print(f"  {tag:8s} {seconds * 1e3:9.3f} ms total")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.games import build_network_for
+    from repro.mcts import NetworkEvaluator
+    from repro.nn import Adam, AlphaZeroLoss
+    from repro.parallel import LocalTreeMCTS
+    from repro.training import Trainer, TrainingPipeline
+
+    game = _make_game(args.game, args.size)
+    net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
+    scheme = LocalTreeMCTS(
+        NetworkEvaluator(net), num_workers=args.workers,
+        batch_size=max(1, args.workers // 2), dirichlet_epsilon=0.25,
+        rng=args.seed + 1,
+    )
+    trainer = Trainer(net, Adam(net.parameters(), lr=2e-3), AlphaZeroLoss(1e-4))
+    pipeline = TrainingPipeline(
+        game, scheme, trainer, num_playouts=args.playouts, sgd_iterations=6,
+        batch_size=64, rng=args.seed + 2,
+        max_moves=game.board_shape[0] * game.board_shape[1],
+    )
+    try:
+        metrics = pipeline.run(
+            args.episodes,
+            on_episode=lambda i, m: print(
+                f"episode {i + 1:3d}: samples={m.samples_produced:4d} "
+                f"loss={m.loss_history[-1].total:.3f}"
+            ),
+        )
+    finally:
+        scheme.close()
+    print(f"throughput: {metrics.throughput:.2f} samples/s, "
+          f"final loss {metrics.final_loss:.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    if args.command == "configure":
+        return cmd_configure(args)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    if args.command == "train":
+        return cmd_train(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Game environment substrate.
+
+The paper evaluates on the Gomoku board-game benchmark (15x15,
+five-in-a-row).  We implement Gomoku plus two smaller games (TicTacToe,
+Connect-Four) used by the fast test suite and the examples, and a
+synthetic random-UCT game used by the design-time profiler (Section 4.2).
+
+All games implement the :class:`repro.games.base.Game` interface consumed
+by the MCTS engines, so every search scheme in the library is
+game-agnostic.
+"""
+
+from repro.games.base import Game, Player, build_network_for
+from repro.games.connect4 import ConnectFour
+from repro.games.gomoku import Gomoku
+from repro.games.synthetic import SyntheticTreeGame
+from repro.games.tictactoe import TicTacToe
+
+__all__ = [
+    "ConnectFour",
+    "Game",
+    "Gomoku",
+    "Player",
+    "SyntheticTreeGame",
+    "TicTacToe",
+    "build_network_for",
+]

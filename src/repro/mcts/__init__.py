@@ -1,0 +1,62 @@
+"""MCTS core: tree node structures, UCT scoring, virtual loss, serial search.
+
+This package contains everything the parallel schemes share:
+
+- :mod:`repro.mcts.node`         -- the tree node / edge-statistics struct.
+- :mod:`repro.mcts.uct`          -- Equation-1 PUCT selection.
+- :mod:`repro.mcts.virtual_loss` -- constant virtual loss [Chaslot 2008] and
+  WU-UCT unobserved-sample tracking [Liu 2020], the two VL styles the paper
+  cites in Section 2.1.
+- :mod:`repro.mcts.evaluation`   -- leaf evaluators (network, random
+  rollout, uniform).
+- :mod:`repro.mcts.search`       -- expansion/backup primitives, action
+  priors, temperature and Dirichlet-noise utilities.
+- :mod:`repro.mcts.serial`       -- the serial DNN-MCTS baseline.
+"""
+
+from repro.mcts.evaluation import (
+    Evaluation,
+    Evaluator,
+    NetworkEvaluator,
+    RandomRolloutEvaluator,
+    UniformEvaluator,
+)
+from repro.mcts.node import Node
+from repro.mcts.search import (
+    action_prior_from_root,
+    add_dirichlet_noise,
+    backup,
+    expand,
+    sample_action,
+    select_leaf,
+)
+from repro.mcts.serial import SerialMCTS
+from repro.mcts.uct import select_child, uct_scores
+from repro.mcts.virtual_loss import (
+    ConstantVirtualLoss,
+    NoVirtualLoss,
+    VirtualLossPolicy,
+    WUVirtualLoss,
+)
+
+__all__ = [
+    "ConstantVirtualLoss",
+    "Evaluation",
+    "Evaluator",
+    "NetworkEvaluator",
+    "NoVirtualLoss",
+    "Node",
+    "RandomRolloutEvaluator",
+    "SerialMCTS",
+    "UniformEvaluator",
+    "VirtualLossPolicy",
+    "WUVirtualLoss",
+    "action_prior_from_root",
+    "add_dirichlet_noise",
+    "backup",
+    "expand",
+    "sample_action",
+    "select_child",
+    "select_leaf",
+    "uct_scores",
+]

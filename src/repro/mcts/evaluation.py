@@ -1,0 +1,155 @@
+"""Leaf evaluators: the "Node Evaluation" stage of DNN-MCTS.
+
+An evaluator maps a game state to ``(priors over the action space, value)``
+where *value* is from the perspective of the player to move.  Three
+implementations:
+
+- :class:`NetworkEvaluator`     -- wraps a policy/value network (the paper's
+  ``neural_network_simulate``); masks illegal moves and renormalises.
+- :class:`RandomRolloutEvaluator` -- classical Monte-Carlo rollout
+  evaluation [Coulom 2006], the pre-DNN baseline the paper contrasts with.
+- :class:`UniformEvaluator`     -- uniform priors / zero value; makes tests
+  and latency profiling independent of network weights.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "Evaluation",
+    "Evaluator",
+    "NetworkEvaluator",
+    "RandomRolloutEvaluator",
+    "UniformEvaluator",
+    "mask_and_normalize",
+]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Result of evaluating one state."""
+
+    priors: np.ndarray  # (action_size,) probabilities, zero on illegal moves
+    value: float  # in [-1, 1], mover's perspective
+
+
+def mask_and_normalize(probs: np.ndarray, legal_mask: np.ndarray) -> np.ndarray:
+    """Zero illegal entries and renormalise; uniform fallback if all mass
+    was on illegal moves (can happen early in training)."""
+    masked = np.where(legal_mask, probs, 0.0)
+    total = masked.sum()
+    if total <= 1e-12:
+        legal_count = int(legal_mask.sum())
+        if legal_count == 0:
+            raise ValueError("no legal actions to normalise over")
+        return legal_mask.astype(np.float64) / legal_count
+    return masked / total
+
+
+class Evaluator(abc.ABC):
+    """State -> (priors, value) mapping; batched variant optional."""
+
+    @abc.abstractmethod
+    def evaluate(self, game: Game) -> Evaluation: ...
+
+    def evaluate_batch(self, games: list[Game]) -> list[Evaluation]:
+        """Default batched path: evaluate sequentially.
+
+        Network-backed evaluators override this with a single batched
+        forward pass -- the operation the accelerator queue of Section 3.3
+        feeds.
+        """
+        return [self.evaluate(g) for g in games]
+
+
+class NetworkEvaluator(Evaluator):
+    """Policy/value-network evaluation (the paper's DNN inference)."""
+
+    def __init__(self, network) -> None:
+        self.network = network
+
+    def evaluate(self, game: Game) -> Evaluation:
+        return self.evaluate_batch([game])[0]
+
+    def evaluate_batch(self, games: list[Game]) -> list[Evaluation]:
+        if not games:
+            return []
+        states = np.stack([g.encode() for g in games])
+        out = self.network.predict(states)
+        evals: list[Evaluation] = []
+        for i, g in enumerate(games):
+            priors = mask_and_normalize(out.policy[i], g.legal_mask())
+            evals.append(Evaluation(priors=priors, value=float(out.value[i])))
+        return evals
+
+
+class UniformEvaluator(Evaluator):
+    """Uniform priors over legal moves, zero value."""
+
+    def evaluate(self, game: Game) -> Evaluation:
+        mask = game.legal_mask()
+        count = int(mask.sum())
+        if count == 0:
+            raise ValueError("cannot evaluate a state with no legal actions")
+        return Evaluation(priors=mask.astype(np.float64) / count, value=0.0)
+
+
+class RandomRolloutEvaluator(Evaluator):
+    """Monte-Carlo rollout evaluation: play random moves to the end.
+
+    *num_rollouts* independent playouts are averaged; priors are uniform
+    (classical UCT has no learned policy).
+
+    Thread safety: each calling thread lazily gets its own generator
+    spawned from the seed stream, so concurrent evaluation from a worker
+    pool is well-defined (NumPy generators are not thread-safe to share).
+    """
+
+    def __init__(
+        self, num_rollouts: int = 1, rng: np.random.Generator | int | None = None
+    ) -> None:
+        if num_rollouts < 1:
+            raise ValueError("num_rollouts must be >= 1")
+        self.num_rollouts = num_rollouts
+        self._seed_rng = new_rng(rng)
+        self._local = threading.local()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        rng = getattr(self._local, "rng", None)
+        if rng is None:
+            # spawn() is itself guarded: only called under the import-wide
+            # GIL from whichever thread first evaluates.
+            rng = self._seed_rng.spawn(1)[0]
+            self._local.rng = rng
+        return rng
+
+    def evaluate(self, game: Game) -> Evaluation:
+        mask = game.legal_mask()
+        count = int(mask.sum())
+        if count == 0:
+            raise ValueError("cannot evaluate a state with no legal actions")
+        priors = mask.astype(np.float64) / count
+        total = 0.0
+        for _ in range(self.num_rollouts):
+            total += self._rollout(game.copy())
+        return Evaluation(priors=priors, value=total / self.num_rollouts)
+
+    def _rollout(self, game: Game) -> float:
+        mover = game.current_player
+        while not game.is_terminal:
+            legal = game.legal_actions()
+            game.step(int(self.rng.choice(legal)))
+        w = game.winner
+        assert w is not None
+        if w == 0:
+            return 0.0
+        return 1.0 if w == mover else -1.0

@@ -1,0 +1,124 @@
+"""Search-tree node with AlphaZero edge statistics.
+
+Each node represents a game state; the edge statistics Q(s,a), N(s,a),
+P(s,a) from Section 2.1 of the paper are stored on the *child* node reached
+by taking action ``a``, which is the standard flattening (an edge and the
+node under it are one-to-one in a tree).
+
+Sign convention (important!): ``value_sum``/``q`` are from the perspective
+of **the player who moved into this node** -- i.e. Q(s,a) for the player to
+move at the parent.  Leaf evaluations arrive from the mover-at-leaf
+perspective and are negated once per level in backup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A single tree node; plain attribute access, ``__slots__`` for density."""
+
+    __slots__ = (
+        "parent",
+        "action",
+        "prior",
+        "visit_count",
+        "value_sum",
+        "virtual_loss",
+        "children",
+        "terminal_value",
+    )
+
+    def __init__(
+        self,
+        parent: "Node | None" = None,
+        action: int = -1,
+        prior: float = 1.0,
+    ) -> None:
+        self.parent = parent
+        self.action = action
+        self.prior = prior
+        self.visit_count = 0
+        self.value_sum = 0.0
+        #: pending traversals through this node (units depend on VL policy)
+        self.virtual_loss = 0.0
+        self.children: dict[int, Node] = {}
+        #: cached game outcome when this node's state is terminal, from the
+        #: mover-at-this-state perspective; None for non-terminal states.
+        self.terminal_value: float | None = None
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True until the node has been expanded (no children yet)."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.terminal_value is not None
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def q(self) -> float:
+        """Mean action value Q(s,a); 0 for unvisited edges (paper init)."""
+        return self.value_sum / self.visit_count if self.visit_count else 0.0
+
+    def add_child(self, action: int, prior: float) -> "Node":
+        if action in self.children:
+            raise ValueError(f"child for action {action} already exists")
+        child = Node(parent=self, action=action, prior=prior)
+        self.children[action] = child
+        return child
+
+    # -- traversal helpers -----------------------------------------------------
+    def path_from_root(self) -> list[int]:
+        """Action sequence from the root to this node."""
+        actions: list[int] = []
+        node: Node | None = self
+        while node is not None and node.parent is not None:
+            actions.append(node.action)
+            node = node.parent
+        return actions[::-1]
+
+    def depth(self) -> int:
+        d = 0
+        node = self.parent
+        while node is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Pre-order iteration over this node's subtree (self included)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.iter_subtree())
+
+    def max_depth(self) -> int:
+        """Depth of the deepest descendant, relative to this node."""
+        best = 0
+        stack = [(self, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            stack.extend((c, d + 1) for c in node.children.values())
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node(action={self.action}, N={self.visit_count}, "
+            f"Q={self.q:+.3f}, P={self.prior:.3f}, VL={self.virtual_loss}, "
+            f"children={len(self.children)})"
+        )

@@ -1,0 +1,111 @@
+"""Subtree reuse across moves (standard DNN-MCTS optimisation).
+
+The paper's pipeline rebuilds the search tree from scratch every move
+(Algorithms 2-3 start from a fresh root).  Production AlphaZero systems
+instead *advance* the root along the played action, keeping the entire
+explored subtree and its statistics warm.  This module provides that
+optimisation as a wrapper agent, plus the bookkeeping to quantify how
+many playouts it saves -- an ablation for the in-tree-cost models (a
+reused tree starts deeper, so T_select grows and the shared-tree regime
+arrives earlier, interacting with the adaptive choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import (
+    action_prior_from_root,
+    backup,
+    expand,
+    select_leaf,
+)
+from repro.utils.rng import new_rng
+
+__all__ = ["TreeReuseMCTS"]
+
+
+class TreeReuseMCTS:
+    """Serial DNN-MCTS that keeps the tree across moves of one episode.
+
+    Usage::
+
+        agent = TreeReuseMCTS(evaluator)
+        prior = agent.get_action_prior(game, 400)   # searches / resumes
+        game.step(action)
+        agent.observe(action)                       # advance the root
+        ...
+        agent.reset()                               # new episode
+
+    ``observe`` must be called for *every* action applied to the game
+    (own and opponent's) so the internal root tracks the game state.
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        c_puct: float = 5.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if c_puct <= 0:
+            raise ValueError("c_puct must be positive")
+        self.evaluator = evaluator
+        self.c_puct = c_puct
+        self.rng = new_rng(rng)
+        self._root: Node | None = None
+        #: visits already in the root when a search starts (reused work)
+        self.reused_visits = 0
+        self.searches = 0
+
+    def reset(self) -> None:
+        """Drop the tree (start of a new episode)."""
+        self._root = None
+
+    def observe(self, action: int) -> None:
+        """Advance the root along *action*; unexplored moves drop the tree."""
+        if self._root is None:
+            return
+        child = self._root.children.get(action)
+        if child is None:
+            self._root = None
+            return
+        child.parent = None  # detach: the rest of the tree is garbage
+        child.action = -1
+        self._root = child
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        root = self.search(game, num_playouts)
+        return action_prior_from_root(root, game.action_size)
+
+    def search(self, game: Game, num_playouts: int) -> Node:
+        """Top the reused tree up to *num_playouts* total root visits."""
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        if self._root is None:
+            self._root = Node()
+        root = self._root
+        self.reused_visits += root.visit_count
+        self.searches += 1
+        # reuse semantics: the budget counts *total* root visits, so a
+        # warm tree needs fewer fresh playouts for the same statistics
+        needed = max(1, num_playouts - root.visit_count)
+        for _ in range(needed):
+            self._playout(root, game.copy())
+        return root
+
+    def _playout(self, root: Node, game: Game) -> None:
+        leaf, leaf_game, _ = select_leaf(
+            root, game, self.c_puct, apply_virtual_loss=False
+        )
+        if leaf.is_terminal:
+            value = leaf.terminal_value
+            assert value is not None
+        else:
+            evaluation = self.evaluator.evaluate(leaf_game)
+            value = expand(leaf, leaf_game, evaluation)
+        backup(leaf, value)

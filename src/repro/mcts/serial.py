@@ -1,0 +1,116 @@
+"""Serial DNN-MCTS: the single-worker baseline every parallel scheme is
+measured against (the paper's profiling baseline, Section 2.1).
+
+One playout = Node Selection -> Node Expansion & Evaluation -> BackUp.
+After ``num_playouts`` playouts the action prior is the normalised root
+visit distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import (
+    action_prior_from_root,
+    add_dirichlet_noise,
+    backup,
+    expand,
+    select_leaf,
+)
+from repro.utils.rng import new_rng
+from repro.utils.timing import AmortizedStats, Timer
+
+__all__ = ["SearchStats", "SerialMCTS"]
+
+
+@dataclass
+class SearchStats:
+    """Per-phase timing collected during search (feeds the profiler)."""
+
+    select: AmortizedStats = field(default_factory=AmortizedStats)
+    evaluate: AmortizedStats = field(default_factory=AmortizedStats)
+    backup: AmortizedStats = field(default_factory=AmortizedStats)
+    playouts: int = 0
+    total_path_length: int = 0
+
+    @property
+    def mean_path_length(self) -> float:
+        return self.total_path_length / self.playouts if self.playouts else 0.0
+
+
+class SerialMCTS:
+    """Single-threaded DNN-guided MCTS.
+
+    Parameters
+    ----------
+    evaluator : leaf evaluator (network, rollout or uniform).
+    c_puct : exploration constant *c* of Equation 1.
+    dirichlet_alpha / dirichlet_epsilon : root-noise parameters; set
+        ``dirichlet_epsilon=0`` to disable (evaluation-time play).
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        c_puct: float = 5.0,
+        dirichlet_alpha: float = 0.3,
+        dirichlet_epsilon: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if c_puct <= 0:
+            raise ValueError("c_puct must be positive")
+        if not 0.0 <= dirichlet_epsilon <= 1.0:
+            raise ValueError("dirichlet_epsilon must be in [0, 1]")
+        self.evaluator = evaluator
+        self.c_puct = c_puct
+        self.dirichlet_alpha = dirichlet_alpha
+        self.dirichlet_epsilon = dirichlet_epsilon
+        self.rng = new_rng(rng)
+        self.stats = SearchStats()
+
+    def search(self, game: Game, num_playouts: int) -> Node:
+        """Run *num_playouts* playouts from *game*'s state; returns the root."""
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        root = Node()
+        for i in range(num_playouts):
+            self._playout(root, game.copy())
+            if i == 0 and self.dirichlet_epsilon > 0:
+                add_dirichlet_noise(
+                    root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
+                )
+        return root
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        """The paper's ``get_action_prior``: normalised root visit counts."""
+        root = self.search(game, num_playouts)
+        return action_prior_from_root(root, game.action_size)
+
+    def _playout(self, root: Node, game: Game) -> None:
+        with Timer() as t_sel:
+            leaf, game, depth = select_leaf(
+                root, game, self.c_puct, apply_virtual_loss=False
+            )
+        self.stats.select.record(t_sel.elapsed)
+        self.stats.total_path_length += depth
+
+        if leaf.is_terminal:
+            value = leaf.terminal_value
+            assert value is not None
+        else:
+            with Timer() as t_eval:
+                evaluation = self.evaluator.evaluate(game)
+            self.stats.evaluate.record(t_eval.elapsed)
+            value = expand(leaf, game, evaluation)
+
+        with Timer() as t_back:
+            backup(leaf, value)
+        self.stats.backup.record(t_back.elapsed)
+        self.stats.playouts += 1

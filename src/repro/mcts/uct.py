@@ -1,0 +1,59 @@
+"""Equation-1 PUCT scoring and child selection.
+
+    U(s, a) = Q(s, a) + c * P(s, a) * sqrt(sum_b N(s, b)) / (1 + N(s, a))
+
+with virtual-loss-adjusted statistics supplied by a
+:class:`repro.mcts.virtual_loss.VirtualLossPolicy`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mcts.node import Node
+from repro.mcts.virtual_loss import NoVirtualLoss, VirtualLossPolicy
+
+__all__ = ["uct_scores", "select_child"]
+
+_NO_VL = NoVirtualLoss()
+
+
+def uct_scores(
+    node: Node,
+    c_puct: float,
+    vl_policy: VirtualLossPolicy | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """UCT scores of all children of *node*.
+
+    Returns ``(actions, scores)`` as parallel arrays (actions sorted
+    ascending for determinism).
+    """
+    if node.is_leaf:
+        raise ValueError("uct_scores on an unexpanded node")
+    vl = vl_policy or _NO_VL
+    actions = np.array(sorted(node.children), dtype=np.int64)
+    n_parent = sum(
+        vl.effective_stats(node.children[a])[0] for a in actions
+    )
+    # Floor at 1 so that, before any child has been visited, selection
+    # falls back to argmax of the priors instead of degenerating to ties.
+    sqrt_parent = math.sqrt(max(n_parent, 1.0))
+    scores = np.empty(len(actions), dtype=np.float64)
+    for i, a in enumerate(actions):
+        child = node.children[a]
+        n_eff, q_eff = vl.effective_stats(child)
+        scores[i] = q_eff + c_puct * child.prior * sqrt_parent / (1.0 + n_eff)
+    return actions, scores
+
+
+def select_child(
+    node: Node,
+    c_puct: float,
+    vl_policy: VirtualLossPolicy | None = None,
+) -> Node:
+    """Argmax of Equation 1 over *node*'s children (ties -> lowest action)."""
+    actions, scores = uct_scores(node, c_puct, vl_policy)
+    best = int(np.argmax(scores))
+    return node.children[int(actions[best])]

@@ -1,0 +1,139 @@
+"""Virtual-loss policies for tree-parallel MCTS.
+
+The paper (Section 2.1): "after a worker traverses a certain node (path)
+during Node Selection, a virtual loss VL is subtracted from U of the
+traversed edges to lower their weights, thus encouraging other workers to
+take different paths. ... VL can either be a pre-defined constant value
+[Chaslot 2008], or a number tracking visit counts of child nodes
+[WU-UCT, Liu 2020]."
+
+Both styles are expressed through one interface so every search scheme
+(serial, shared-tree, local-tree, simulated) is policy-agnostic:
+
+- :meth:`on_descend` is called for each node on the selected path while
+  descending (paper: Algorithm 2 line 14, "update node's UCT score with
+  virtual loss");
+- :meth:`on_backup` is called for each node on the path during BackUp
+  (paper: "VL is recovered later in the BackUp phase");
+- :meth:`effective_stats` maps raw (N, W, VL) to the values Equation 1
+  should see.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mcts.node import Node
+
+__all__ = [
+    "VirtualLossPolicy",
+    "NoVirtualLoss",
+    "ConstantVirtualLoss",
+    "WUVirtualLoss",
+]
+
+
+class VirtualLossPolicy(abc.ABC):
+    """Strategy interface for discouraging concurrent path collisions."""
+
+    @abc.abstractmethod
+    def on_descend(self, node: Node) -> None:
+        """Mark *node* as being traversed by an in-flight worker."""
+
+    @abc.abstractmethod
+    def on_backup(self, node: Node) -> None:
+        """Recover the virtual loss applied by :meth:`on_descend`."""
+
+    @abc.abstractmethod
+    def effective_stats(self, node: Node) -> tuple[float, float]:
+        """Return ``(effective_visits, effective_q)`` for UCT scoring."""
+
+    def effective_parent_visits(self, node: Node) -> float:
+        """Effective visit total used inside the sqrt of Equation 1."""
+        n, _ = self.effective_stats(node)
+        return n
+
+
+class NoVirtualLoss(VirtualLossPolicy):
+    """Identity policy: what serial MCTS uses."""
+
+    def on_descend(self, node: Node) -> None:
+        pass
+
+    def on_backup(self, node: Node) -> None:
+        pass
+
+    def effective_stats(self, node: Node) -> tuple[float, float]:
+        return float(node.visit_count), node.q
+
+
+class ConstantVirtualLoss(VirtualLossPolicy):
+    """Classic constant virtual loss [Chaslot et al. 2008].
+
+    Each in-flight traversal pretends to be ``weight`` lost playouts:
+    N_eff = N + weight * inflight, W_eff = W - weight * inflight.  This both
+    deflates Q and inflates the visit denominator, strongly repelling other
+    workers from the path.
+    """
+
+    def __init__(self, weight: float = 3.0, strict: bool = True) -> None:
+        if weight <= 0:
+            raise ValueError(f"virtual-loss weight must be positive, got {weight}")
+        self.weight = weight
+        #: strict policies treat an unbalanced descend/backup as a bug;
+        #: lock-free schemes set strict=False because racy read-modify-
+        #: write updates can legitimately lose increments.
+        self.strict = strict
+
+    def on_descend(self, node: Node) -> None:
+        node.virtual_loss += self.weight
+
+    def on_backup(self, node: Node) -> None:
+        node.virtual_loss -= self.weight
+        if node.virtual_loss < -1e-9:
+            if self.strict:
+                raise RuntimeError(
+                    "virtual loss went negative: unbalanced descend/backup"
+                )
+            node.virtual_loss = 0.0
+
+    def effective_stats(self, node: Node) -> tuple[float, float]:
+        vl = node.virtual_loss
+        n_eff = node.visit_count + vl
+        if n_eff <= 0:
+            return 0.0, 0.0
+        # each pretended playout contributes a loss (-1) to the value sum
+        q_eff = (node.value_sum - vl) / n_eff
+        return n_eff, q_eff
+
+
+class WUVirtualLoss(VirtualLossPolicy):
+    """WU-UCT style: track *unobserved samples* [Liu et al. 2020].
+
+    In-flight traversals count toward the visit totals (both in the sqrt
+    numerator and the per-edge denominator of Equation 1) but do **not**
+    poison Q with fake losses -- the exploration term alone spreads the
+    workers.  This is gentler than constant VL and was shown by WU-UCT to
+    preserve the sequential algorithm's regret behaviour.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+
+    def on_descend(self, node: Node) -> None:
+        node.virtual_loss += 1.0
+
+    def on_backup(self, node: Node) -> None:
+        node.virtual_loss -= 1.0
+        if node.virtual_loss < -1e-9:
+            if self.strict:
+                raise RuntimeError(
+                    "unobserved count went negative: unbalanced descend/backup"
+                )
+            node.virtual_loss = 0.0
+
+    def effective_stats(self, node: Node) -> tuple[float, float]:
+        n_eff = node.visit_count + node.virtual_loss
+        # Q uses only *observed* outcomes (the "watch the unobserved" rule).
+        q = node.q
+        return n_eff, q

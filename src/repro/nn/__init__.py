@@ -1,0 +1,66 @@
+"""From-scratch NumPy deep-learning framework (DNN substrate).
+
+The paper trains an AlphaZero-style policy/value network (5 convolution
+layers + 3 fully-connected layers, Section 5.1) with the loss of Equation 2.
+This subpackage provides everything needed to do that without an external
+deep-learning dependency:
+
+- :mod:`repro.nn.layers`     -- Module base class and layer zoo (Conv2d via
+  im2col, Linear, ReLU, Tanh, Flatten, BatchNorm2d, Dropout).
+- :mod:`repro.nn.network`    -- :class:`Sequential` container and
+  :class:`PolicyValueNet`, the paper's benchmark network.
+- :mod:`repro.nn.losses`     -- AlphaZero loss (value MSE + policy
+  cross-entropy + L2), Equation 2.
+- :mod:`repro.nn.optim`      -- SGD / momentum / Adam optimisers and
+  learning-rate schedules.
+- :mod:`repro.nn.functional` -- the vectorised primitives (im2col/col2im,
+  softmax family) that keep the hot paths in BLAS.
+"""
+
+from repro.nn.functional import col2im, im2col, log_softmax, softmax
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Tanh,
+)
+from repro.nn.losses import AlphaZeroLoss, LossValue, cross_entropy_with_logits, mse
+from repro.nn.network import NetworkOutput, PolicyValueNet, Sequential
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, Optimizer, StepLR
+from repro.nn.resnet import ResidualBlock, ResNetPolicyValueNet
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AlphaZeroLoss",
+    "BatchNorm2d",
+    "ConstantLR",
+    "Conv2d",
+    "CosineLR",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "LossValue",
+    "Module",
+    "NetworkOutput",
+    "Optimizer",
+    "Parameter",
+    "PolicyValueNet",
+    "ReLU",
+    "ResNetPolicyValueNet",
+    "ResidualBlock",
+    "Sequential",
+    "StepLR",
+    "Tanh",
+    "col2im",
+    "cross_entropy_with_logits",
+    "im2col",
+    "log_softmax",
+    "mse",
+    "softmax",
+]

@@ -1,0 +1,111 @@
+"""Vectorised numerical primitives for the NumPy DNN framework.
+
+Everything here is shape-polymorphic and loop-free on the batch dimension;
+the only Python-level loops are the kh*kw scatter loops in :func:`col2im`
+(9 iterations for a 3x3 kernel), which is the standard trade-off that keeps
+memory bounded while the heavy lifting stays inside BLAS/ufuncs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv_out_size",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size {out} <= 0 "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    x : (B, C, H, W) input batch.
+
+    Returns
+    -------
+    (B, C*kh*kw, oh*ow) array whose matmul with a (F, C*kh*kw) weight matrix
+    performs the convolution.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects (B, C, H, W), got shape {x.shape}")
+    b, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # (B, C, H', W', kh, kw) strided view; subsample by stride, no copy yet.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (B, C, oh, ow, kh, kw)
+    # -> (B, C, kh, kw, oh, ow) -> (B, C*kh*kw, oh*ow); this transpose copies.
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(b, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image.
+
+    Used in the convolution backward pass to compute the input gradient.
+    """
+    b, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    img = np.zeros((b, c, hp, wp), dtype=cols.dtype)
+    cols = cols.reshape(b, c, kh, kw, oh, ow)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            img[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if padding > 0:
+        return img[:, :, padding : padding + h, padding : padding + w]
+    return img
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along *axis*."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along *axis*."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array into float32 rows."""
+    indices = np.asarray(indices)
+    if np.any(indices < 0) or np.any(indices >= num_classes):
+        raise ValueError("index out of range for one_hot")
+    out = np.zeros((*indices.shape, num_classes), dtype=np.float32)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

@@ -1,0 +1,367 @@
+"""Layer zoo for the NumPy DNN framework.
+
+Design: explicit ``forward``/``backward`` per layer rather than tape-based
+autodiff.  The network in the paper is a fixed feed-forward graph (shared
+convolutional trunk + two heads), so manual adjoints keep every hot path a
+single BLAS call and make the memory profile predictable -- the property
+the HPC guides emphasise (vectorise, avoid copies, mind the cache).
+
+Conventions
+-----------
+- ``forward(x)`` caches whatever the adjoint needs on ``self``.
+- ``backward(grad_out)`` accumulates parameter gradients into
+  ``Parameter.grad`` (+=, so gradients naturally sum over multiple
+  backward calls until ``zero_grad``) and returns the input gradient.
+- Layers are stateless between ``forward``/``backward`` pairs apart from
+  those caches; a layer instance is therefore *not* safe for concurrent
+  training from multiple threads, matching the paper's single training
+  stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_out_size, im2col
+from repro.nn.init import he_normal, xavier_uniform, zeros
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "BatchNorm2d",
+    "Dropout",
+]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, (de)serialisation."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- graph ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameters -------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its sub-modules, depth-first."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode -------------------------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # -- (de)serialisation --------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} tensors, module has {len(params)} parameters"
+            )
+        for i, p in enumerate(params):
+            tensor = state[f"p{i}"]
+            if tensor.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for parameter {i}: "
+                    f"{tensor.shape} vs {p.data.shape}"
+                )
+            p.data[...] = tensor
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            name="linear.weight",
+        )
+        self.bias = Parameter(zeros((out_features,)), name="linear.bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects (B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward"
+        self.weight.grad += grad_out.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data
+
+
+class Conv2d(Module):
+    """2-D convolution implemented as im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv dimensions must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng),
+            name="conv.weight",
+        )
+        self.bias = Parameter(zeros((out_channels,)), name="conv.bias") if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        b, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        oh = conv_out_size(h, k, s, p)
+        ow = conv_out_size(w, k, s, p)
+        cols = im2col(x, k, k, s, p)  # (B, C*k*k, oh*ow)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (F, C*k*k)
+        out = np.einsum("fk,bkl->bfl", w_mat, cols, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        return out.reshape(b, self.out_channels, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._x_shape is not None
+        b, f, oh, ow = grad_out.shape
+        g = grad_out.reshape(b, f, oh * ow)  # (B, F, L)
+        # dW = sum_b g_b @ cols_b.T
+        gw = np.einsum("bfl,bkl->fk", g, self._cols, optimize=True)
+        self.weight.grad += gw.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 2))
+        w_mat = self.weight.data.reshape(f, -1)  # (F, K)
+        grad_cols = np.einsum("fk,bfl->bkl", w_mat, g, optimize=True)
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return col2im(grad_cols, self._x_shape, k, k, s, p)
+
+
+class ReLU(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad_out * (1.0 - self._out * self._out)
+
+
+class Flatten(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad_out.reshape(self._shape)
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features), name="bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), name="bn.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (B, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, np.asarray(x.shape))
+        return self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_hat, inv_std, shape = self._cache
+        b, _, h, w = shape
+        m = b * h * w  # reduction size per channel
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.gamma.data[None, :, None, None]
+        if not self.training:
+            return g * inv_std[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3))[None, :, None, None]
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3))[None, :, None, None]
+        # standard batch-norm adjoint
+        return inv_std[None, :, None, None] * (g - sum_g / m - x_hat * sum_gx / m)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = new_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,110 @@
+"""Loss functions, centred on the AlphaZero loss of Equation 2.
+
+    l = sum_t (v_theta(s_t) - r)^2  -  pi_t . log p_theta(s_t)  (+ c ||theta||^2)
+
+The policy term is a cross-entropy against the *soft* MCTS visit
+distribution pi (not a hard label), so we implement it directly on logits
+for numerical stability and a one-line adjoint (softmax(z) - pi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+__all__ = ["LossValue", "mse", "cross_entropy_with_logits", "AlphaZeroLoss"]
+
+
+@dataclass(frozen=True)
+class LossValue:
+    """Decomposed loss with gradients ready to feed a two-headed backward."""
+
+    total: float
+    value_loss: float
+    policy_loss: float
+    l2_loss: float
+    grad_logits: np.ndarray
+    grad_value: np.ndarray
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean (over batch) squared error and its gradient wrt *pred*."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {target.shape}")
+    n = pred.shape[0]
+    diff = pred - target
+    loss = float(np.sum(diff * diff) / n)
+    return loss, 2.0 * diff / n
+
+
+def cross_entropy_with_logits(
+    logits: np.ndarray, target_probs: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Soft-label cross entropy ``-pi . log softmax(z)`` averaged over batch.
+
+    Returns the loss and its gradient wrt the logits:
+    ``(softmax(z) - pi) / B`` (exact because rows of pi sum to one).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    target_probs = np.asarray(target_probs, dtype=np.float64)
+    if logits.shape != target_probs.shape:
+        raise ValueError(f"shape mismatch {logits.shape} vs {target_probs.shape}")
+    row_sums = target_probs.sum(axis=-1)
+    if not np.allclose(row_sums, 1.0, atol=1e-5):
+        raise ValueError("target policy rows must sum to 1")
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    loss = float(-np.sum(target_probs * logp) / n)
+    grad = (softmax(logits, axis=-1) - target_probs) / n
+    return loss, grad
+
+
+class AlphaZeroLoss:
+    """Combined value + policy (+ L2) loss, Equation 2 of the paper.
+
+    Parameters
+    ----------
+    l2 : weight-decay coefficient *c*.  Applied here (not in the optimiser)
+        so the reported ``total`` matches Equation 2 exactly; pass
+        parameters to :meth:`__call__` to include the penalty.
+    """
+
+    def __init__(self, l2: float = 1e-4) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+
+    def __call__(
+        self,
+        logits: np.ndarray,
+        value: np.ndarray,
+        target_policy: np.ndarray,
+        target_value: np.ndarray,
+        parameters: list | None = None,
+    ) -> LossValue:
+        value = np.asarray(value, dtype=np.float64).reshape(-1)
+        target_value = np.asarray(target_value, dtype=np.float64).reshape(-1)
+        v_loss, grad_v = mse(value, target_value)
+        p_loss, grad_z = cross_entropy_with_logits(logits, target_policy)
+        l2_loss = 0.0
+        if parameters and self.l2 > 0:
+            l2_loss = self.l2 * float(
+                sum(np.sum(p.data * p.data) for p in parameters)
+            )
+            # The L2 gradient (2*c*theta) is added straight onto the
+            # parameter grads; callers run this before optimizer.step().
+            for p in parameters:
+                p.grad += 2.0 * self.l2 * p.data
+        return LossValue(
+            total=v_loss + p_loss + l2_loss,
+            value_loss=v_loss,
+            policy_loss=p_loss,
+            l2_loss=l2_loss,
+            grad_logits=grad_z,
+            grad_value=grad_v,
+        )

@@ -1,0 +1,162 @@
+"""Optimisers and learning-rate schedules for the NumPy DNN framework.
+
+The paper trains with stochastic gradient descent (Robbins-Monro [13],
+Equation 2); we provide plain SGD, SGD with momentum, and Adam, plus
+constant / step / cosine learning-rate schedules, all operating in place
+on :class:`repro.nn.layers.Parameter` buffers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "ConstantLR", "StepLR", "CosineLR"]
+
+
+class Schedule:
+    """Learning-rate schedule interface: maps step index -> multiplier."""
+
+    def factor(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(Schedule):
+    def factor(self, step: int) -> float:
+        return 1.0
+
+
+class StepLR(Schedule):
+    """Multiply the LR by *gamma* every *step_size* optimiser steps."""
+
+    def __init__(self, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def factor(self, step: int) -> float:
+        return self.gamma ** (step // self.step_size)
+
+
+class CosineLR(Schedule):
+    """Cosine decay from 1 to *floor* over *total_steps*."""
+
+    def __init__(self, total_steps: int, floor: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        self.total_steps = total_steps
+        self.floor = floor
+
+    def factor(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.floor + (1.0 - self.floor) * 0.5 * (1.0 + math.cos(math.pi * t))
+
+
+class Optimizer:
+    """Base optimiser: owns the parameter list and the step counter."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float,
+        schedule: Schedule | None = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+        self.base_lr = lr
+        self.schedule = schedule or ConstantLR()
+        self.steps = 0
+
+    @property
+    def lr(self) -> float:
+        return self.base_lr * self.schedule.factor(self.steps)
+
+    def step(self) -> None:
+        self._apply(self.lr)
+        self.steps += 1
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def _apply(self, lr: float) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule: Schedule | None = None,
+    ) -> None:
+        super().__init__(parameters, lr, schedule)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in parameters]
+
+    def _apply(self, lr: float) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        schedule: Schedule | None = None,
+    ) -> None:
+        super().__init__(parameters, lr, schedule)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+
+    def _apply(self, lr: float) -> None:
+        b1, b2 = self.betas
+        t = self.steps + 1
+        bias1 = 1.0 - b1**t
+        bias2 = 1.0 - b2**t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            p.data -= lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,55 @@
+"""Common interface for every parallel search scheme.
+
+The adaptive framework (Section 3.2) treats schemes as interchangeable
+implementations of ``get_action_prior``; this module pins that contract
+down so the design-configuration workflow can swap them at "compile time"
+(here: object construction time).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.node import Node
+
+__all__ = ["SchemeName", "ParallelScheme"]
+
+
+class SchemeName(str, enum.Enum):
+    """Identifiers used by the performance models and the adaptive selector."""
+
+    SERIAL = "serial"
+    SHARED_TREE = "shared_tree"
+    LOCAL_TREE = "local_tree"
+    LEAF_PARALLEL = "leaf_parallel"
+    ROOT_PARALLEL = "root_parallel"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ParallelScheme(abc.ABC):
+    """A search scheme that turns a game state into an action prior."""
+
+    name: SchemeName
+
+    @abc.abstractmethod
+    def search(self, game: Game, num_playouts: int) -> Node:
+        """Run the tree-based search and return the root node."""
+
+    @abc.abstractmethod
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        """Normalised root visit counts over the full action space."""
+
+    def close(self) -> None:
+        """Release thread pools; default is a no-op."""
+
+    def __enter__(self) -> "ParallelScheme":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

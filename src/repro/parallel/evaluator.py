@@ -1,0 +1,131 @@
+"""Accelerator request queue and batching evaluator (paper Section 3.3).
+
+"We utilize a dedicated accelerator queue for accumulating DNN inference
+task requests produced by the tree selection process.  When the queue size
+reaches a predetermined threshold, all tasks are submitted together to the
+GPU for computation."
+
+:class:`AcceleratorQueue` is that queue: producers (shared-tree workers)
+submit states and block on a per-request future; whichever submission
+fills the batch executes the batched inference inline and resolves all the
+futures.  A *linger timeout* flushes partial batches so the tail of a move
+(fewer requests remaining than the threshold) cannot deadlock.
+
+:class:`BatchingEvaluator` adapts the queue to the
+:class:`repro.mcts.evaluation.Evaluator` interface so any search scheme
+can be pointed at a batched accelerator transparently.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluation, Evaluator
+
+__all__ = ["AcceleratorQueue", "BatchingEvaluator"]
+
+
+class AcceleratorQueue:
+    """Thread-safe batch-accumulation queue in front of a batched evaluator.
+
+    Parameters
+    ----------
+    evaluator : the backing (accelerator) evaluator; its ``evaluate_batch``
+        is invoked with the accumulated states.
+    batch_size : flush threshold (the communication batch size; for the
+        shared-tree scheme the paper always sets this to N, Section 3.3).
+    linger : seconds a waiting producer tolerates before forcing a partial
+        flush.  Needed because the last requests of a move may never fill
+        a batch.
+    """
+
+    def __init__(
+        self, evaluator: Evaluator, batch_size: int, linger: float = 0.005
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if linger <= 0:
+            raise ValueError("linger must be positive")
+        self.evaluator = evaluator
+        self.batch_size = batch_size
+        self.linger = linger
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: list[tuple[Game, Future]] = []
+        self.batches_flushed = 0
+        self.requests_served = 0
+
+    def submit(self, game: Game) -> Future:
+        """Enqueue a state; returns a future resolving to its Evaluation."""
+        fut: Future = Future()
+        flush_now: list[tuple[Game, Future]] | None = None
+        with self._lock:
+            self._pending.append((game, fut))
+            if len(self._pending) >= self.batch_size:
+                flush_now = self._pending
+                self._pending = []
+            else:
+                self._cond.notify_all()
+        if flush_now is not None:
+            self._run_batch(flush_now)
+        return fut
+
+    def evaluate_blocking(self, game: Game) -> Evaluation:
+        """Submit and wait; forces a partial flush after the linger timeout."""
+        fut = self.submit(game)
+        while True:
+            try:
+                return fut.result(timeout=self.linger)
+            except TimeoutError:
+                self.flush()
+
+    def flush(self) -> int:
+        """Force evaluation of whatever is pending; returns the batch size."""
+        with self._lock:
+            batch = self._pending
+            self._pending = []
+        if batch:
+            self._run_batch(batch)
+        return len(batch)
+
+    def _run_batch(self, batch: list[tuple[Game, Future]]) -> None:
+        games = [g for g, _ in batch]
+        try:
+            evaluations = self.evaluator.evaluate_batch(games)
+        except BaseException as err:  # propagate to all waiters
+            for _, fut in batch:
+                fut.set_exception(err)
+            return
+        self.batches_flushed += 1
+        self.requests_served += len(batch)
+        for (_, fut), ev in zip(batch, evaluations):
+            fut.set_result(ev)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+class BatchingEvaluator(Evaluator):
+    """Evaluator facade over an :class:`AcceleratorQueue`.
+
+    Point a :class:`repro.parallel.shared_tree.SharedTreeMCTS` at one of
+    these (with ``batch_size == num_workers``) to reproduce the paper's
+    shared-tree + GPU configuration: N selection threads, full-batched
+    inference.
+    """
+
+    def __init__(
+        self, evaluator: Evaluator, batch_size: int, linger: float = 0.005
+    ) -> None:
+        self.queue = AcceleratorQueue(evaluator, batch_size, linger)
+
+    def evaluate(self, game: Game) -> Evaluation:
+        return self.queue.evaluate_blocking(game)
+
+    def evaluate_batch(self, games: list[Game]) -> list[Evaluation]:
+        # Already a batch: bypass accumulation, evaluate directly.
+        return self.queue.evaluator.evaluate_batch(games)

@@ -1,0 +1,176 @@
+"""Local-tree tree-parallel MCTS (paper Algorithm 3, Section 3.1.2).
+
+A centralised **master thread** (the caller of :meth:`search`) owns the
+complete tree and executes *all* in-tree operations -- selection,
+expansion, backup -- with no locks at all.  N worker threads are dedicated
+to node evaluation (DNN inference); the master communicates with them
+through FIFO pipes (here: executor futures, completion-ordered).
+
+The ``batch_size`` parameter implements the CUDA-stream sub-batching of
+Sections 3.3/4.2: the master accumulates ``B`` evaluation requests before
+submitting them as one batched inference, so with N workers there are
+N/B requests in flight -- the knob Algorithm 4 tunes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluation, Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import (
+    action_prior_from_root,
+    add_dirichlet_noise,
+    backup,
+    expand,
+    select_leaf,
+)
+from repro.mcts.virtual_loss import VirtualLossPolicy, WUVirtualLoss
+from repro.parallel.base import ParallelScheme, SchemeName
+from repro.utils.rng import new_rng
+
+__all__ = ["LocalTreeMCTS"]
+
+
+class LocalTreeMCTS(ParallelScheme):
+    """Master-thread tree with asynchronous worker-pool evaluation.
+
+    Parameters
+    ----------
+    evaluator : leaf evaluator; ``evaluate_batch`` is used, so a network
+        evaluator performs genuinely batched inference.
+    num_workers : worker-pool capacity N (max evaluation requests in
+        flight; Algorithm 3 line 12).
+    batch_size : evaluation requests accumulated before submission
+        (B of Section 4.2; 1 = fully asynchronous, the CPU-only default).
+    vl_policy : defaults to WU-UCT unobserved-sample tracking [Liu 2020],
+        the style the local-tree lineage uses; constant VL also works.
+    """
+
+    name = SchemeName.LOCAL_TREE
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        num_workers: int = 4,
+        batch_size: int = 1,
+        c_puct: float = 5.0,
+        vl_policy: VirtualLossPolicy | None = None,
+        dirichlet_alpha: float = 0.3,
+        dirichlet_epsilon: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 1 <= batch_size <= num_workers:
+            raise ValueError(
+                f"batch_size must be in [1, num_workers={num_workers}], got {batch_size}"
+            )
+        if c_puct <= 0:
+            raise ValueError("c_puct must be positive")
+        self.evaluator = evaluator
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.c_puct = c_puct
+        self.vl_policy = vl_policy or WUVirtualLoss()
+        self.dirichlet_alpha = dirichlet_alpha
+        self.dirichlet_epsilon = dirichlet_epsilon
+        self.rng = new_rng(rng)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="local-tree"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- search (Algorithm 3, rollout_n_times) -------------------------------
+    def search(self, game: Game, num_playouts: int) -> Node:
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        root = Node()
+        evaluation = self.evaluator.evaluate(game)
+        expand(root, game, evaluation)
+        root.visit_count += 1
+        if self.dirichlet_epsilon > 0:
+            add_dirichlet_noise(
+                root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
+            )
+        pool = self._ensure_pool()
+
+        pending: list[tuple[Node, Game]] = []  # accumulating sub-batch
+        inflight: dict[Future, list[tuple[Node, Game]]] = {}
+
+        def inflight_requests() -> int:
+            return sum(len(items) for items in inflight.values())
+
+        def flush() -> None:
+            if not pending:
+                return
+            items = pending.copy()
+            fut = pool.submit(self.evaluator.evaluate_batch, [g for _, g in items])
+            inflight[fut] = items
+            pending.clear()
+
+        launched = 1  # the root evaluation
+        completed = 1
+
+        while completed < num_playouts:
+            # Master-thread in-tree operations: select new leaves while
+            # worker capacity remains (Algorithm 3 lines 7-11).
+            while (
+                launched < num_playouts
+                and inflight_requests() + len(pending) < self.num_workers
+            ):
+                leaf, leaf_game, _ = select_leaf(
+                    root, game.copy(), self.c_puct, self.vl_policy
+                )
+                launched += 1
+                if leaf.is_terminal:
+                    value = leaf.terminal_value
+                    assert value is not None
+                    backup(leaf, value, self.vl_policy)
+                    completed += 1
+                    continue
+                pending.append((leaf, leaf_game))
+                if len(pending) >= self.batch_size:
+                    flush()
+
+            if completed >= num_playouts:
+                break
+            # All selections launched (or capacity full): force out any
+            # partial sub-batch so the tail of the move cannot deadlock.
+            if pending and (launched >= num_playouts or not inflight):
+                flush()
+            if not inflight:
+                # every launched playout already completed via terminal
+                # leaves and nothing is pending -- but the count says we
+                # still owe playouts, so selection must continue.
+                continue
+            # Wait for a task to finish (Algorithm 3 lines 12-16).
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for fut in done:
+                items = inflight.pop(fut)
+                evaluations: list[Evaluation] = fut.result()
+                for (leaf, leaf_game), ev in zip(items, evaluations):
+                    # Master-thread expansion and backup (no locks needed:
+                    # only this thread ever touches the tree).
+                    value = expand(leaf, leaf_game, ev)
+                    backup(leaf, value, self.vl_policy)
+                    completed += 1
+        return root
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        root = self.search(game, num_playouts)
+        return action_prior_from_root(root, game.action_size)

@@ -1,0 +1,148 @@
+"""Lock-free shared-tree MCTS [Mirsoleimani et al. 2018] (Section 2.2).
+
+The paper's related work discusses a lock-free tree-parallel variant that
+"attempts to address [the synchronisation overhead] by developing a
+lock-free tree-parallel method", at the cost of racy statistics that can
+hurt decision quality without careful tuning.
+
+This implementation drops every per-node mutex:
+
+- virtual-loss updates, visit/value accumulation and expansion happen
+  with plain (unsynchronised) attribute updates.  Under CPython each
+  individual read/write is atomic, so counters can lose increments under
+  contention but never corrupt memory -- the same weak-consistency regime
+  the original lock-free C++ implementation accepts via relaxed atomics.
+- expansion uses a per-node claim flag (a single attribute CAS-style
+  test-and-set, atomic under the GIL) so only one worker allocates the
+  child list; losers back their evaluation up without expanding.
+
+The scheme exists as a baseline for the E10 ablation benchmark: it trades
+the shared tree's lock overhead for statistical noise, exactly the
+trade-off the paper's Section 2.2 narrative describes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import action_prior_from_root, add_dirichlet_noise, expand
+from repro.mcts.uct import select_child
+from repro.mcts.virtual_loss import ConstantVirtualLoss, VirtualLossPolicy
+from repro.parallel.base import ParallelScheme, SchemeName
+from repro.utils.rng import new_rng
+
+__all__ = ["LockFreeSharedTreeMCTS"]
+
+
+class LockFreeSharedTreeMCTS(ParallelScheme):
+    """Shared tree with no locks: weakly-consistent statistics."""
+
+    name = SchemeName.SHARED_TREE  # same family; variant flag below
+    lock_free = True
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        num_workers: int = 4,
+        c_puct: float = 5.0,
+        vl_policy: VirtualLossPolicy | None = None,
+        dirichlet_alpha: float = 0.3,
+        dirichlet_epsilon: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if c_puct <= 0:
+            raise ValueError("c_puct must be positive")
+        self.evaluator = evaluator
+        self.num_workers = num_workers
+        self.c_puct = c_puct
+        # non-strict by default: racy updates may lose VL increments
+        self.vl_policy = vl_policy or ConstantVirtualLoss(strict=False)
+        self.dirichlet_alpha = dirichlet_alpha
+        self.dirichlet_epsilon = dirichlet_epsilon
+        self.rng = new_rng(rng)
+        self._pool: ThreadPoolExecutor | None = None
+        #: nodes whose expansion raced and was discarded (observability)
+        self.expansion_races = 0
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="lock-free"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def search(self, game: Game, num_playouts: int) -> Node:
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        root = Node()
+        evaluation = self.evaluator.evaluate(game)
+        expand(root, game, evaluation)
+        root.visit_count += 1
+        if self.dirichlet_epsilon > 0:
+            add_dirichlet_noise(
+                root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
+            )
+        remaining = num_playouts - 1
+        if remaining <= 0:
+            return root
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._rollout, root, game) for _ in range(remaining)
+        ]
+        done, _ = wait(futures)
+        for f in done:
+            f.result()
+        return root
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        root = self.search(game, num_playouts)
+        return action_prior_from_root(root, game.action_size)
+
+    def _rollout(self, root: Node, environment: Game) -> None:
+        game = environment.copy()
+        node = root
+        self.vl_policy.on_descend(node)  # unsynchronised on purpose
+        while not node.is_leaf and not node.is_terminal:
+            node = select_child(node, self.c_puct, self.vl_policy)
+            game.step(node.action)
+            self.vl_policy.on_descend(node)
+            if game.is_terminal:
+                node.terminal_value = game.terminal_value
+
+        if node.is_terminal:
+            value = node.terminal_value
+            assert value is not None
+        else:
+            evaluation = self.evaluator.evaluate(game)
+            try:
+                value = expand(node, game, evaluation)
+            except ValueError:
+                # two workers raced through the leaf check and collided on
+                # a child insert; the loser keeps its evaluation for
+                # backup and moves on (weak consistency by design)
+                self.expansion_races += 1
+                value = float(evaluation.value)
+
+        current: Node | None = node
+        v = value
+        while current is not None:
+            # plain updates: individually atomic, jointly racy (by design)
+            current.visit_count += 1
+            current.value_sum += -v
+            self.vl_policy.on_backup(current)
+            v = -v
+            current = current.parent

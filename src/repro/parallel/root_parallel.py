@@ -1,0 +1,120 @@
+"""Root-parallel MCTS baseline [Kato & Takeuchi 2010] (Section 2.2).
+
+N workers grow completely independent trees from the same root state; the
+action prior is the sum of root visit counts across the ensemble.  No
+sharing means no synchronisation, but -- as the paper notes -- "still lets
+multiple workers visit repetitive states".
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.node import Node
+from repro.mcts.serial import SerialMCTS
+from repro.parallel.base import ParallelScheme, SchemeName
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["RootParallelMCTS"]
+
+
+class RootParallelMCTS(ParallelScheme):
+    """Ensemble of independent serial searches with aggregated statistics.
+
+    ``num_playouts`` is divided evenly over the workers (remainder spread
+    over the first few), so the total in-tree work matches the other
+    schemes at equal playout budget.
+    """
+
+    name = SchemeName.ROOT_PARALLEL
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        num_workers: int = 4,
+        c_puct: float = 5.0,
+        dirichlet_alpha: float = 0.3,
+        dirichlet_epsilon: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.evaluator = evaluator
+        self.num_workers = num_workers
+        self.c_puct = c_puct
+        self.dirichlet_alpha = dirichlet_alpha
+        self.dirichlet_epsilon = dirichlet_epsilon
+        self.rng = new_rng(rng)
+        self._pool: ThreadPoolExecutor | None = None
+        #: roots of the last search, one per worker (exposed for analysis)
+        self.last_roots: list[Node] = []
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="root-parallel"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _worker_budgets(self, num_playouts: int) -> list[int]:
+        base, extra = divmod(num_playouts, self.num_workers)
+        budgets = [base + (1 if i < extra else 0) for i in range(self.num_workers)]
+        return [b for b in budgets if b > 0]
+
+    def search(self, game: Game, num_playouts: int) -> Node:
+        """Runs the ensemble and returns a *merged* root whose children
+        carry the aggregated visit counts (Q is visit-weighted)."""
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        pool = self._ensure_pool()
+        budgets = self._worker_budgets(num_playouts)
+        rngs = spawn_rngs(self.rng, len(budgets))
+
+        def run(budget: int, worker_rng: np.random.Generator) -> Node:
+            engine = SerialMCTS(
+                self.evaluator,
+                c_puct=self.c_puct,
+                dirichlet_alpha=self.dirichlet_alpha,
+                dirichlet_epsilon=self.dirichlet_epsilon,
+                rng=worker_rng,
+            )
+            return engine.search(game, budget)
+
+        futures = [pool.submit(run, b, r) for b, r in zip(budgets, rngs)]
+        self.last_roots = [f.result() for f in futures]
+        return self._merge_roots(self.last_roots)
+
+    @staticmethod
+    def _merge_roots(roots: list[Node]) -> Node:
+        merged = Node()
+        for root in roots:
+            merged.visit_count += root.visit_count
+            for action, child in root.children.items():
+                m = merged.children.get(action)
+                if m is None:
+                    m = merged.add_child(action, child.prior)
+                m.visit_count += child.visit_count
+                m.value_sum += child.value_sum
+        return merged
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        root = self.search(game, num_playouts)
+        prior = np.zeros(game.action_size, dtype=np.float64)
+        total = 0
+        for action, child in root.children.items():
+            prior[action] = child.visit_count
+            total += child.visit_count
+        if total == 0:
+            raise ValueError("no visits recorded")
+        return prior / total

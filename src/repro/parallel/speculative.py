@@ -1,0 +1,168 @@
+"""Speculative DNN-MCTS [Kim, Kang & Cho 2021 -- SpecMCTS] (Section 2.2).
+
+"The Speculated DNN-MCTS complies with the sequential in-tree operations,
+and uses a speculative model in addition to the main model for faster
+node evaluation.  This preserves the decision-making quality of the
+sequential MCTS but introduces additional computations."
+
+Implementation: the in-tree operations stay strictly sequential (one
+playout at a time, exactly the serial algorithm).  At every leaf the
+cheap **draft** evaluator produces priors/value immediately, the playout
+commits with them, and the expensive **main** evaluation is launched
+asynchronously.  When a main result lands, a *correction pass* patches
+the tree:
+
+- the leaf's children's priors are replaced with the main model's;
+- the value difference (v_main - v_draft) is propagated along the
+  recorded backup path with the usual sign alternation, without touching
+  visit counts.
+
+After all corrections drain (always forced before returning the action
+prior), every Q in the tree equals what a main-model-only serial search
+over the same node sequence would have produced -- the SpecMCTS quality
+-preservation property, which the tests assert exactly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluation, Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import (
+    action_prior_from_root,
+    add_dirichlet_noise,
+    backup,
+    expand,
+    select_leaf,
+)
+from repro.parallel.base import ParallelScheme, SchemeName
+from repro.utils.rng import new_rng
+
+__all__ = ["SpeculativeMCTS"]
+
+
+class SpeculativeMCTS(ParallelScheme):
+    """Serial in-tree search with speculative (draft) leaf evaluation.
+
+    Parameters
+    ----------
+    main_evaluator : the accurate, expensive model.
+    draft_evaluator : the fast speculative model (e.g. a slimmer network).
+    num_workers : thread-pool capacity for in-flight main evaluations;
+        when full, the search blocks until a correction drains
+        (mirroring SpecMCTS's bounded speculation depth).
+    """
+
+    name = SchemeName.SERIAL  # sequential in-tree semantics
+
+    def __init__(
+        self,
+        main_evaluator: Evaluator,
+        draft_evaluator: Evaluator,
+        num_workers: int = 4,
+        c_puct: float = 5.0,
+        dirichlet_alpha: float = 0.3,
+        dirichlet_epsilon: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if c_puct <= 0:
+            raise ValueError("c_puct must be positive")
+        self.main_evaluator = main_evaluator
+        self.draft_evaluator = draft_evaluator
+        self.num_workers = num_workers
+        self.c_puct = c_puct
+        self.dirichlet_alpha = dirichlet_alpha
+        self.dirichlet_epsilon = dirichlet_epsilon
+        self.rng = new_rng(rng)
+        self._pool: ThreadPoolExecutor | None = None
+        #: corrections applied (observability / the "additional
+        #: computations" cost SpecMCTS pays)
+        self.corrections = 0
+        self.speculations = 0
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="spec-mcts"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- search ------------------------------------------------------------
+    def search(self, game: Game, num_playouts: int) -> Node:
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        pool = self._ensure_pool()
+        root = Node()
+        inflight: dict[Future, tuple[Node, float]] = {}
+
+        for i in range(num_playouts):
+            # bounded speculation: drain one correction when full
+            while len(inflight) >= self.num_workers:
+                self._drain_one(inflight)
+            leaf, leaf_game, _ = select_leaf(
+                root, game.copy(), self.c_puct, apply_virtual_loss=False
+            )
+            if leaf.is_terminal:
+                value = leaf.terminal_value
+                assert value is not None
+                backup(leaf, value)
+            else:
+                draft = self.draft_evaluator.evaluate(leaf_game)
+                value = expand(leaf, leaf_game, draft)
+                backup(leaf, value)
+                self.speculations += 1
+                future = pool.submit(self.main_evaluator.evaluate, leaf_game)
+                inflight[future] = (leaf, float(draft.value))
+            if i == 0 and self.dirichlet_epsilon > 0 and not root.is_leaf:
+                add_dirichlet_noise(
+                    root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
+                )
+        # force all corrections before the tree is read
+        while inflight:
+            self._drain_one(inflight)
+        return root
+
+    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+        root = self.search(game, num_playouts)
+        return action_prior_from_root(root, game.action_size)
+
+    # -- correction machinery ----------------------------------------------
+    def _drain_one(self, inflight: dict[Future, tuple[Node, float]]) -> None:
+        done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+        for future in done:
+            leaf, draft_value = inflight.pop(future)
+            main: Evaluation = future.result()
+            self._apply_correction(leaf, draft_value, main)
+
+    def _apply_correction(
+        self, leaf: Node, draft_value: float, main: Evaluation
+    ) -> None:
+        """Patch priors and retro-fit the main value along the path."""
+        self.corrections += 1
+        for action, child in leaf.children.items():
+            child.prior = float(main.priors[action])
+        delta = float(main.value) - draft_value
+        if delta == 0.0:
+            return
+        current: Node | None = leaf
+        d = delta
+        while current is not None:
+            # the draft backup added -value at the leaf level with
+            # alternating signs above; the correction adds -delta the
+            # same way, leaving visit counts untouched
+            current.value_sum += -d
+            d = -d
+            current = current.parent

@@ -1,0 +1,41 @@
+"""Performance models and the adaptive design-configuration workflow.
+
+This package is the paper's Section 4:
+
+- :mod:`repro.perfmodel.models`    -- Equations 3-6: per-iteration latency
+  of the shared-tree and local-tree schemes on CPU-only and CPU-GPU
+  platforms.
+- :mod:`repro.perfmodel.profiling` -- design-time profiling of T_select,
+  T_backup, T_DNN on a synthetic tree (Section 4.2, paragraph 1).
+- :mod:`repro.perfmodel.vsearch`   -- Algorithm 4: O(log N) minimum search
+  over the V-sequence of batch-size latencies.
+- :mod:`repro.perfmodel.adaptive`  -- the design-configuration workflow
+  that picks the scheme (and batch size B) at compile time.
+"""
+
+from repro.perfmodel.adaptive import AdaptiveConfig, DesignConfigurator
+from repro.perfmodel.models import (
+    PerformanceModel,
+    ProfiledLatencies,
+    local_tree_cpu_latency,
+    local_tree_gpu_latency,
+    shared_tree_cpu_latency,
+    shared_tree_gpu_latency,
+)
+from repro.perfmodel.profiling import profile_virtual, profile_wallclock
+from repro.perfmodel.vsearch import SearchTrace, find_v_minimum
+
+__all__ = [
+    "AdaptiveConfig",
+    "DesignConfigurator",
+    "PerformanceModel",
+    "ProfiledLatencies",
+    "SearchTrace",
+    "find_v_minimum",
+    "local_tree_cpu_latency",
+    "local_tree_gpu_latency",
+    "profile_virtual",
+    "profile_wallclock",
+    "shared_tree_cpu_latency",
+    "shared_tree_gpu_latency",
+]

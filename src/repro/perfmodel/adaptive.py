@@ -1,0 +1,159 @@
+"""The design-configuration workflow (paper Sections 3.2 and 4.2).
+
+Given a profiled application, a platform and a worker budget N, decide at
+"compile time" (configuration time):
+
+1. which parallel scheme to run -- shared tree or local tree -- by
+   evaluating the performance models (Equations 3-6); and
+2. for a local tree on a CPU-GPU platform, the communication batch size B,
+   found with Algorithm 4's O(log N) V-sequence search over *test runs*.
+
+Test runs can be the analytic model (fast, what the paper's models
+predict), or a measured run of the DES / the real implementation (what
+the paper actually does on hardware); pass ``measure`` to override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.parallel.base import SchemeName
+from repro.perfmodel.models import PerformanceModel, ProfiledLatencies
+from repro.perfmodel.vsearch import SearchTrace, find_v_minimum
+from repro.simulator.hardware import GPUSpec
+
+__all__ = ["AdaptiveConfig", "DesignConfigurator"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """The workflow's output: scheme + batch size + predicted latencies."""
+
+    scheme: SchemeName
+    num_workers: int
+    use_gpu: bool
+    batch_size: int  # communication batch size (N for shared-tree GPU)
+    predicted_latency: float
+    candidates: dict[str, float] = field(default_factory=dict)
+    batch_search: SearchTrace | None = None
+
+    @property
+    def speedup_vs_worst(self) -> float:
+        """Predicted gain of the adaptive choice over the worst candidate."""
+        worst = max(self.candidates.values())
+        return worst / self.predicted_latency if self.predicted_latency > 0 else 1.0
+
+
+class DesignConfigurator:
+    """Compile-time scheme/batch selection from profiled latencies."""
+
+    def __init__(
+        self,
+        profile: ProfiledLatencies,
+        gpu: GPUSpec | None = None,
+    ) -> None:
+        self.profile = profile
+        self.gpu = gpu
+        self.model = PerformanceModel(profile, gpu)
+
+    # -- CPU-only platforms ----------------------------------------------------
+    def configure_cpu(self, num_workers: int) -> AdaptiveConfig:
+        """Pick the scheme for a multi-core CPU (Equations 3 and 5)."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        t_shared = self.model.shared_cpu(num_workers)
+        t_local = self.model.local_cpu(num_workers)
+        if t_shared <= t_local:
+            scheme, latency = SchemeName.SHARED_TREE, t_shared
+        else:
+            scheme, latency = SchemeName.LOCAL_TREE, t_local
+        return AdaptiveConfig(
+            scheme=scheme,
+            num_workers=num_workers,
+            use_gpu=False,
+            batch_size=1,
+            predicted_latency=latency,
+            candidates={"shared_tree": t_shared, "local_tree": t_local},
+        )
+
+    # -- CPU-GPU platforms ----------------------------------------------------
+    def configure_gpu(
+        self,
+        num_workers: int,
+        measure: Callable[[int], float] | None = None,
+        measured_shared: float | None = None,
+    ) -> AdaptiveConfig:
+        """Pick scheme and batch size for a CPU-GPU platform (Eqs. 4/6).
+
+        Parameters
+        ----------
+        measure : optional test-run callable ``B -> measured latency`` used
+            by Algorithm 4 instead of the analytic Equation-6 model.  The
+            paper uses empirical test runs of a single move; pass a DES
+            runner (see the Figure-5 benchmark) for the same effect.
+        measured_shared : shared-tree latency measured the same way; when
+            *measure* is given, supply this too so the scheme comparison is
+            apples-to-apples (model vs model, or measurement vs
+            measurement).
+        """
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.gpu is None:
+            raise ValueError("configure_gpu requires a GPU spec")
+        if measure is not None and measured_shared is None:
+            raise ValueError(
+                "pass measured_shared when using measured test runs, so the "
+                "shared-tree candidate is measured with the same instrument"
+            )
+        t_shared = (
+            measured_shared
+            if measured_shared is not None
+            else self.model.shared_gpu(num_workers)
+        )
+        evaluate = measure or (lambda b: self.model.local_gpu(num_workers, b))
+        trace = find_v_minimum(evaluate, 1, num_workers)
+        # Probe the full-batch endpoint explicitly: the overlap kink at
+        # B > N/2 makes the sequence only approximately a V at small N,
+        # and B = N is one extra test run.
+        t_full = trace.evaluated.get(num_workers)
+        if t_full is None:
+            t_full = evaluate(num_workers)
+            trace.evaluated[num_workers] = t_full
+        if t_full < trace.best_latency:
+            trace = SearchTrace(
+                best_batch=num_workers,
+                best_latency=t_full,
+                evaluated=trace.evaluated,
+            )
+        t_local = trace.best_latency
+        if t_shared <= t_local:
+            scheme, latency, batch = SchemeName.SHARED_TREE, t_shared, num_workers
+        else:
+            scheme, latency, batch = SchemeName.LOCAL_TREE, t_local, trace.best_batch
+        return AdaptiveConfig(
+            scheme=scheme,
+            num_workers=num_workers,
+            use_gpu=True,
+            batch_size=batch,
+            predicted_latency=latency,
+            candidates={
+                "shared_tree": t_shared,
+                "local_tree_full_batch": self.model.local_gpu(num_workers, num_workers)
+                if measure is None
+                else evaluate(num_workers),
+                "local_tree_best_batch": t_local,
+            },
+            batch_search=trace,
+        )
+
+    def configure(
+        self,
+        num_workers: int,
+        use_gpu: bool,
+        measure: Callable[[int], float] | None = None,
+    ) -> AdaptiveConfig:
+        """Dispatch to the CPU-only or CPU-GPU workflow."""
+        if use_gpu:
+            return self.configure_gpu(num_workers, measure)
+        return self.configure_cpu(num_workers)

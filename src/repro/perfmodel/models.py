@@ -1,0 +1,160 @@
+"""The paper's performance models (Equations 3-6).
+
+The equations in the paper are written per *round*: one round is N worker
+-iterations executing concurrently (the timelines of Figures 1-2).  The
+evaluation metric, however, is the amortized **per-worker-iteration**
+latency (Section 5.3), i.e. round latency divided by N.  The functions
+here return the per-iteration form; multiply by N to recover the paper's
+round-form equations verbatim:
+
+Eq. 3  T^CPU_shared      ~ T_access * N + T_select + T_backup + T^CPU_DNN
+Eq. 4  T^CPU-GPU_shared  ~ T_access * N + T_select + T_backup + T^GPU_DNN(batch=N)
+Eq. 5  T^CPU_local       ~ max((T_select + T_backup) * N, T^CPU_DNN)
+Eq. 6  T^CPU-GPU_local   ~ max((T_select + T_backup) * N, T_PCIe, T^GPU_DNN-compute(batch=B))
+
+where T_PCIe = (N/B) * L + N / PCIe-bandwidth (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.hardware import GPUSpec
+
+__all__ = [
+    "ProfiledLatencies",
+    "shared_tree_cpu_latency",
+    "shared_tree_gpu_latency",
+    "local_tree_cpu_latency",
+    "local_tree_gpu_latency",
+    "PerformanceModel",
+]
+
+
+@dataclass(frozen=True)
+class ProfiledLatencies:
+    """Design-time profiled quantities (Section 4.2, paragraph 1).
+
+    Per-playout totals for a single worker on a single thread, in seconds.
+    The shared/local split reflects the two memory regimes: the shared tree
+    pays DDR costs, the local tree cache costs (Section 3.1).
+    ``t_access`` is the paper's T_shared-tree-access: the serialised
+    per-worker overhead of communicating root-level information through
+    shared memory.
+    """
+
+    t_select_shared: float
+    t_backup_shared: float
+    t_select_local: float
+    t_backup_local: float
+    t_dnn_cpu: float
+    t_access: float
+    mean_expand_children: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_select_shared",
+            "t_backup_shared",
+            "t_select_local",
+            "t_backup_local",
+            "t_dnn_cpu",
+            "t_access",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def in_tree_shared(self) -> float:
+        return self.t_select_shared + self.t_backup_shared
+
+    @property
+    def in_tree_local(self) -> float:
+        return self.t_select_local + self.t_backup_local
+
+
+def shared_tree_cpu_latency(profile: ProfiledLatencies, num_workers: int) -> float:
+    """Equation 3 (per-iteration form)."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    round_latency = (
+        profile.t_access * num_workers
+        + profile.in_tree_shared
+        + profile.t_dnn_cpu
+    )
+    return round_latency / num_workers
+
+
+def shared_tree_gpu_latency(
+    profile: ProfiledLatencies, num_workers: int, gpu: GPUSpec
+) -> float:
+    """Equation 4 (per-iteration form): full-batched inference, batch = N."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    t_gpu = gpu.transfer_time(num_workers) + gpu.compute_time(num_workers)
+    round_latency = profile.t_access * num_workers + profile.in_tree_shared + t_gpu
+    return round_latency / num_workers
+
+
+def local_tree_cpu_latency(profile: ProfiledLatencies, num_workers: int) -> float:
+    """Equation 5 (per-iteration form): master in-tree vs N CPU inferences."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    return max(profile.in_tree_local, profile.t_dnn_cpu / num_workers)
+
+
+def local_tree_gpu_latency(
+    profile: ProfiledLatencies,
+    num_workers: int,
+    gpu: GPUSpec,
+    batch_size: int,
+) -> float:
+    """Equation 6 (per-iteration form): CUDA-stream sub-batches of size B.
+
+    The max() form of Equation 6 assumes the master's in-tree operations,
+    the PCIe transfers and the GPU kernels overlap, which requires at
+    least two sub-batches in flight (N/B >= 2 streams).  When B > N/2
+    there is effectively a single stream, the pipeline degenerates, and
+    master selections / transfer / kernel serialise -- the paper's
+    Figure-3 observation that full-batch latency rises again ("the GPU
+    waits for all the N [in-tree operations] before it can start").  This
+    kink is what makes the sequence a V rather than monotone.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if not 1 <= batch_size <= num_workers:
+        raise ValueError("batch_size must be in [1, num_workers]")
+    in_tree = profile.in_tree_local
+    t_pcie_per_iter = gpu.transfer_time(batch_size) / batch_size
+    t_compute_per_iter = gpu.compute_time(batch_size) / batch_size
+    if batch_size * 2 > num_workers:
+        # fewer than two streams: no compute/selection overlap
+        return in_tree + t_pcie_per_iter + t_compute_per_iter
+    return max(in_tree, t_pcie_per_iter, t_compute_per_iter)
+
+
+class PerformanceModel:
+    """Convenience bundle: evaluate every scheme at one (N, platform)."""
+
+    def __init__(self, profile: ProfiledLatencies, gpu: GPUSpec | None = None) -> None:
+        self.profile = profile
+        self.gpu = gpu
+
+    def shared_cpu(self, n: int) -> float:
+        return shared_tree_cpu_latency(self.profile, n)
+
+    def local_cpu(self, n: int) -> float:
+        return local_tree_cpu_latency(self.profile, n)
+
+    def shared_gpu(self, n: int) -> float:
+        if self.gpu is None:
+            raise ValueError("no GPU spec configured")
+        return shared_tree_gpu_latency(self.profile, n, self.gpu)
+
+    def local_gpu(self, n: int, batch_size: int) -> float:
+        if self.gpu is None:
+            raise ValueError("no GPU spec configured")
+        return local_tree_gpu_latency(self.profile, n, self.gpu, batch_size)
+
+    def batch_latency_sequence(self, n: int) -> list[float]:
+        """T[B] for B in 1..N -- the V-sequence Algorithm 4 searches."""
+        return [self.local_gpu(n, b) for b in range(1, n + 1)]

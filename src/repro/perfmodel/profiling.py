@@ -1,0 +1,140 @@
+"""Design-time profiling (paper Section 4.2, first paragraph).
+
+"We first obtain T_DNN, T_select and T_backup of a single worker on a
+single thread by profiling their amortized execution time on the target
+CPU for one iteration.  The DNN for profiling is filled with random
+parameters and inputs of the same dimensions defined by the target
+algorithm and application.  The T_select and T_backup are measured on a
+synthetic tree constructed for one episode with random-generated UCT
+scores, emulating the same fanout and depth limit defined by the DNN-MCTS
+algorithm."
+
+Two providers:
+
+- :func:`profile_wallclock` -- measures the real Python implementation
+  (SerialMCTS on a :class:`repro.games.synthetic.SyntheticTreeGame`), the
+  literal analogue of the paper's procedure.  Useful for configuring the
+  real-thread schemes on the actual host.
+- :func:`profile_virtual` -- prices the same single-worker episode with a
+  :class:`repro.simulator.workload.LatencyModel`, yielding the profile the
+  analytic models need to predict the *simulated* platform.  This is the
+  provider the figure benchmarks use (deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator, UniformEvaluator
+from repro.mcts.node import Node
+from repro.mcts.search import backup, expand, select_leaf
+from repro.mcts.serial import SerialMCTS
+from repro.perfmodel.models import ProfiledLatencies
+from repro.simulator.hardware import PlatformSpec
+from repro.simulator.workload import LatencyModel
+
+__all__ = ["profile_wallclock", "profile_virtual"]
+
+
+def profile_wallclock(
+    game: Game,
+    evaluator: Evaluator,
+    num_playouts: int = 400,
+    c_puct: float = 5.0,
+    ddr_cache_ratio: float = 4.0,
+    t_access: float = 0.0,
+) -> ProfiledLatencies:
+    """Profile the real implementation's amortized per-playout latencies.
+
+    A single wall-clock profile cannot distinguish the DDR and cache
+    regimes (the Python process has one memory hierarchy), so the local
+    -regime numbers are taken as measured and the shared-regime numbers
+    scaled by *ddr_cache_ratio* -- callers targeting real hardware should
+    substitute a measured ratio.
+    """
+    engine = SerialMCTS(evaluator, c_puct=c_puct)
+    engine.search(game, num_playouts)
+    stats = engine.stats
+    t_select_local = stats.select.amortized
+    t_backup_local = stats.backup.amortized
+    return ProfiledLatencies(
+        t_select_shared=t_select_local * ddr_cache_ratio,
+        t_backup_shared=t_backup_local * ddr_cache_ratio,
+        t_select_local=t_select_local,
+        t_backup_local=t_backup_local,
+        t_dnn_cpu=stats.evaluate.amortized,
+        t_access=t_access,
+    )
+
+
+def profile_virtual(
+    game: Game,
+    platform: PlatformSpec,
+    evaluator: Evaluator | None = None,
+    num_playouts: int = 400,
+    c_puct: float = 5.0,
+) -> ProfiledLatencies:
+    """Price a single-worker episode with the platform's latency model.
+
+    Runs the genuine serial search (so tree shape, path lengths and fanout
+    are the real ones) and accumulates what each operation *would* cost in
+    the two memory regimes.  ``t_access`` is derived from the serialised
+    root handoff: one lock traversal plus one DDR node update for the
+    descent and one for the backup -- the quantity Equation 3 multiplies
+    by N.
+    """
+    if num_playouts < 1:
+        raise ValueError("num_playouts must be >= 1")
+    evaluator = evaluator or UniformEvaluator()
+    lat = LatencyModel(platform)
+    root = Node()
+    select_shared = 0.0
+    select_local = 0.0
+    backup_shared = 0.0
+    backup_local = 0.0
+    expand_children: list[int] = []
+
+    for _ in range(num_playouts):
+        g = game.copy()
+        node = root
+        # per-playout master overheads of the local scheme: the root VL
+        # update and one FIFO dispatch to the worker pool
+        select_local += lat.vl_update(False) + lat.pipe()
+        # descend, pricing each level in both regimes
+        while not node.is_leaf and not node.is_terminal:
+            nch = len(node.children)
+            select_shared += lat.select_node(nch, shared=True) + lat.vl_update(True)
+            select_local += lat.select_node(nch, shared=False) + lat.vl_update(False)
+            from repro.mcts.uct import select_child  # local import avoids cycle
+
+            node = select_child(node, c_puct)
+            g.step(node.action)
+            if g.is_terminal:
+                node.terminal_value = g.terminal_value
+        if node.is_terminal:
+            value = node.terminal_value
+            assert value is not None
+        else:
+            evaluation = evaluator.evaluate(g)
+            nch = len(g.legal_actions())
+            expand_children.append(nch)
+            select_shared += lat.expand(nch, shared=True)
+            select_local += lat.expand(nch, shared=False)
+            value = expand(node, g, evaluation)
+        depth = node.depth() + 1
+        backup_shared += depth * (lat.backup_node(True) + lat.lock_overhead())
+        backup_local += depth * lat.backup_node(False)
+        backup(node, value)
+
+    n = num_playouts
+    t_access = 2.0 * (lat.lock_overhead() + lat.vl_update(shared=True))
+    return ProfiledLatencies(
+        t_select_shared=select_shared / n,
+        t_backup_shared=backup_shared / n,
+        t_select_local=select_local / n,
+        t_backup_local=backup_local / n,
+        t_dnn_cpu=lat.dnn_cpu(),
+        t_access=t_access,
+        mean_expand_children=float(np.mean(expand_children)) if expand_children else 0.0,
+    )

@@ -1,0 +1,70 @@
+"""Algorithm 4: O(log N) minimum search over a V-sequence.
+
+The paper observes (Section 4.2) that the per-iteration latency of the
+local-tree scheme as a function of the communication batch size B is a
+"V-sequence" -- first monotonically non-increasing, then monotonically
+non-decreasing -- because it is the element-wise max of decreasing
+(in-tree, PCIe) and increasing (GPU compute) sequences.  FindMin therefore
+needs only O(log N) *test runs* instead of the naive N: at each step it
+tests B = mid and B = mid+1 and recurses toward the descending side.
+
+``find_v_minimum`` takes an arbitrary ``evaluate(B) -> latency`` callable
+(a test run on real hardware in the paper; the analytic model or the DES
+here) and memoises evaluations so repeated probes are counted once --
+the returned :class:`SearchTrace` records exactly which B values were
+test-run, which the complexity benchmark (E7) asserts is O(log N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SearchTrace", "find_v_minimum"]
+
+
+@dataclass
+class SearchTrace:
+    """Record of one FindMin invocation."""
+
+    best_batch: int
+    best_latency: float
+    evaluated: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def test_runs(self) -> int:
+        return len(self.evaluated)
+
+
+def find_v_minimum(
+    evaluate: Callable[[int], float],
+    lo: int,
+    hi: int,
+) -> SearchTrace:
+    """FindMin(T, lo, hi) of Algorithm 4.
+
+    Parameters
+    ----------
+    evaluate : latency of a test run at batch size B (1-indexed, inclusive).
+    lo, hi : inclusive search bounds (the paper uses [1, N]).
+    """
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid bounds [{lo}, {hi}]")
+    memo: dict[int, float] = {}
+
+    def probe(b: int) -> float:
+        if b not in memo:
+            memo[b] = evaluate(b)
+        return memo[b]
+
+    while lo < hi:
+        mid = (lo + hi) // 2
+        # Algorithm 4 line 5: "Test Run with B = mid and B = mid + 1"
+        t_mid = probe(mid)
+        t_next = probe(mid + 1)
+        if t_mid >= t_next:
+            lo = mid + 1  # still descending (or flat): minimum is right
+        else:
+            hi = mid  # ascending: minimum is at mid or left of it
+    best = lo
+    return SearchTrace(best_batch=best, best_latency=probe(best), evaluated=memo)

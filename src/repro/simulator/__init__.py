@@ -1,0 +1,77 @@
+"""Discrete-event hardware simulator (virtual-time execution substrate).
+
+Why this exists: the paper's evaluation runs pthread-level tree-parallel
+search on a 64-core Threadripper and offloads inference to an RTX A6000.
+Python's GIL makes the in-tree thread scaling unobservable in wall clock,
+so -- per the substitution policy in DESIGN.md -- the *figures* are
+reproduced by executing the **same search algorithms** in virtual time
+against a parameterised hardware model:
+
+- :mod:`repro.simulator.engine`    -- the event loop; tasks are Python
+  generators yielding :class:`Compute` / :class:`Acquire` / :class:`Put` /
+  ... effects.
+- :mod:`repro.simulator.resources` -- virtual locks, FIFOs, futures.
+- :mod:`repro.simulator.hardware`  -- CPU/GPU/platform specs with presets
+  mirroring the paper's testbed (Section 5.1).
+- :mod:`repro.simulator.workload`  -- maps hardware + application
+  parameters to per-operation latencies (the T_select, T_backup, T_DNN,
+  T_access quantities of Equations 3-6).
+- :mod:`repro.simulator.gpu`       -- accelerator with PCIe transfer model
+  ``(N/B) * L + N/BW`` and monotone batched-compute model (Section 4.2).
+- :mod:`repro.simulator.shared_tree_sim` / ``local_tree_sim`` -- the two
+  parallel schemes of Section 3 executed on real game trees in virtual
+  time.
+
+The algorithms are the genuine ones from :mod:`repro.mcts` -- selection
+with Equation-1 UCT, virtual loss, expansion, backup on a real game --
+only the *clock* is simulated.  Algorithmic effects the paper discusses
+(obsolete-tree information, fewer node insertions at large batch size)
+therefore emerge instead of being asserted.
+"""
+
+from repro.simulator.engine import (
+    Acquire,
+    Compute,
+    Get,
+    Put,
+    Release,
+    SimEngine,
+    Wait,
+)
+from repro.simulator.gpu import SimAcceleratorQueue, SimGPU
+from repro.simulator.hardware import (
+    CPUSpec,
+    GPUSpec,
+    PlatformSpec,
+    paper_platform,
+)
+from repro.simulator.local_tree_sim import LocalTreeSimulation
+from repro.simulator.resources import SimFIFO, SimFuture, SimLock
+from repro.simulator.result import SimResult
+from repro.simulator.scheme_adapter import SimulatedScheme
+from repro.simulator.shared_tree_sim import SharedTreeSimulation
+from repro.simulator.workload import LatencyModel
+
+__all__ = [
+    "Acquire",
+    "CPUSpec",
+    "Compute",
+    "GPUSpec",
+    "Get",
+    "LatencyModel",
+    "LocalTreeSimulation",
+    "PlatformSpec",
+    "Put",
+    "Release",
+    "SimAcceleratorQueue",
+    "SimEngine",
+    "SimFIFO",
+    "SimFuture",
+    "SimGPU",
+    "SimLock",
+    "SimResult",
+    "SimulatedScheme",
+    "SharedTreeSimulation",
+    "Wait",
+    "paper_platform",
+]

@@ -1,0 +1,167 @@
+"""Hardware platform specifications for the simulator.
+
+The presets mirror the paper's testbed (Section 5.1): an AMD Ryzen
+Threadripper 3990X (64 cores / 128 threads, 256 MB LLC, 8x32 GB DDR4) and
+an NVIDIA RTX A6000 attached over PCIe 4.0.
+
+Calibration note: the per-operation micro-costs are *model inputs*, not
+measurements of this Python implementation.  They were chosen so the
+analytic quantities of Equations 3-6 land in the regimes the paper's
+figures exhibit (local tree favoured at small N on CPU, shared tree at
+large N; shared favoured at N=16 on CPU-GPU, local+B* at N in {32, 64};
+V-shaped batch-size curves with optima near 8 and 20).  EXPERIMENTS.md
+records the calibration and compares shapes against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CPUSpec", "GPUSpec", "PlatformSpec", "paper_platform"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Multi-core CPU model.
+
+    All times in seconds.  The two scan costs encode the paper's central
+    memory argument (Section 3.1): a shared tree lives in DDR and every
+    child-statistics read pays main-memory latency, while the local tree
+    fits in the master core's last-level cache.
+    """
+
+    name: str = "generic-cpu"
+    num_cores: int = 16
+    threads_per_core: int = 2
+    llc_bytes: int = 32 * 2**20
+    #: cost of reading one child's edge statistics during UCT selection
+    child_scan_ddr: float = 0.25e-6
+    child_scan_cache: float = 0.04e-6
+    #: cost of one node-statistics update (visit/value/VL write)
+    node_update_ddr: float = 1.0e-6
+    node_update_cache: float = 0.12e-6
+    #: per-child allocation/initialisation cost during expansion
+    child_alloc: float = 0.02e-6
+    #: lock acquire+release overhead (uncontended)
+    lock_overhead: float = 0.3e-6
+    #: master/worker FIFO pipe transfer cost (local tree, Section 3.1.2)
+    pipe_latency: float = 1.0e-6
+    #: single-threaded CPU inference latency of the benchmark DNN
+    dnn_latency: float = 800e-6
+
+    @property
+    def max_threads(self) -> int:
+        return self.num_cores * self.threads_per_core
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1 or self.threads_per_core < 1:
+            raise ValueError("core counts must be positive")
+        for attr in (
+            "child_scan_ddr",
+            "child_scan_cache",
+            "node_update_ddr",
+            "node_update_cache",
+            "child_alloc",
+            "lock_overhead",
+            "pipe_latency",
+            "dnn_latency",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.child_scan_cache > self.child_scan_ddr:
+            raise ValueError("cache scan cannot be slower than DDR scan")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Accelerator model (Section 4.2's analytic components).
+
+    - PCIe: each transfer costs ``launch_latency + samples / bandwidth``
+      (the paper's ``(N/B) * L + N / PCIe-bandwidth`` decomposes into per
+      -transfer applications of this).
+    - Compute: ``T_GPU(B) = kernel_base + per_sample * B`` -- monotonically
+      increasing in B, as the paper's observation list requires.
+    """
+
+    name: str = "generic-gpu"
+    #: fixed per-transfer cost: driver dispatch + kernel launch (the L of
+    #: the paper's T_PCIe model, Section 4.2)
+    launch_latency: float = 80e-6
+    #: effective per-sample PCIe transfer time (state tensor + results)
+    per_sample_transfer: float = 0.5e-6
+    #: fixed kernel time per batched inference
+    kernel_base: float = 200e-6
+    #: marginal kernel time per sample in the batch
+    per_sample_compute: float = 10e-6
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "launch_latency",
+            "per_sample_transfer",
+            "kernel_base",
+            "per_sample_compute",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    def transfer_time(self, batch: int) -> float:
+        """PCIe cost of moving one *batch* of requests (one launch)."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self.launch_latency + batch * self.per_sample_transfer
+
+    def compute_time(self, batch: int) -> float:
+        """Kernel execution time for a batch of *batch* inferences."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self.kernel_base + batch * self.per_sample_compute
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A CPU, optionally paired with an accelerator."""
+
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    gpu: GPUSpec | None = None
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+
+def paper_platform(with_gpu: bool = True) -> PlatformSpec:
+    """The paper's testbed: Threadripper 3990X (+ RTX A6000 over PCIe 4.0)."""
+    cpu = CPUSpec(
+        name="AMD Ryzen Threadripper 3990X",
+        num_cores=64,
+        threads_per_core=2,
+        llc_bytes=256 * 2**20,
+    )
+    gpu = GPUSpec(name="NVIDIA RTX A6000 (PCIe 4.0)") if with_gpu else None
+    return PlatformSpec(cpu=cpu, gpu=gpu)
+
+
+def tpu_like_accelerator() -> GPUSpec:
+    """A systolic-array-style accelerator (the paper's conclusion mentions
+    TPUs/ASICs): long submission latency, very cheap marginal samples --
+    batching pays off hard, so the workflow should pick large B."""
+    return GPUSpec(
+        name="TPU-like ASIC",
+        launch_latency=150e-6,
+        per_sample_transfer=0.3e-6,
+        kernel_base=60e-6,
+        per_sample_compute=1.5e-6,
+    )
+
+
+def fpga_like_accelerator() -> GPUSpec:
+    """A latency-optimised FPGA dataflow accelerator (paper's conclusion,
+    and the authors' own FPL'22/FPGA'23 line of work): tiny submission
+    latency, modest throughput -- small sub-batches become attractive."""
+    return GPUSpec(
+        name="FPGA-like dataflow accelerator",
+        launch_latency=4e-6,
+        per_sample_transfer=0.8e-6,
+        kernel_base=15e-6,
+        per_sample_compute=22e-6,
+    )

@@ -1,0 +1,237 @@
+"""Local-tree scheme executed in virtual time (Algorithm 3 on the DES).
+
+One simulated **master task** owns the tree: all selection, expansion and
+backup run on it, lock-free, at cache-regime costs (the paper's premise
+that the local tree fits in the master core's LLC).  Evaluation requests
+leave the master through FIFO pipes:
+
+- CPU mode: N simulated worker tasks each serve one request at a time,
+  charging ``T_DNN`` per state (Algorithm 3's thread pool);
+- GPU mode: requests accumulate into sub-batches of ``B`` and go to the
+  simulated accelerator; with B < N several sub-batches are in flight at
+  once, which is the CUDA-stream overlap of Section 4.2 (N/B streams).
+
+The in-flight cap is ``num_workers`` requests in both modes (Algorithm 3
+line 12: "if number of tasks in thread pool >= number of threads then wait
+for a task to finish").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.node import Node
+from repro.mcts.search import backup, expand
+from repro.mcts.uct import select_child
+from repro.mcts.virtual_loss import VirtualLossPolicy, WUVirtualLoss
+from repro.simulator.engine import Compute, Get, Put, SimEngine, Wait
+from repro.simulator.gpu import SimGPU
+from repro.simulator.hardware import PlatformSpec
+from repro.simulator.resources import SimFIFO
+from repro.simulator.result import SimResult
+from repro.simulator.workload import LatencyModel
+
+__all__ = ["LocalTreeSimulation"]
+
+_STOP = object()  # worker-shutdown sentinel
+
+
+class LocalTreeSimulation:
+    """Virtual-time local-tree search on a real game.
+
+    Parameters
+    ----------
+    num_workers : evaluation capacity N (worker threads on CPU; total
+        requests in flight on GPU).
+    batch_size : sub-batch size B (Section 4.2); must be 1 on CPU mode per
+        request (Algorithm 3 sends single requests) unless overridden.
+    """
+
+    def __init__(
+        self,
+        game: Game,
+        evaluator: Evaluator,
+        platform: PlatformSpec,
+        num_workers: int,
+        batch_size: int = 1,
+        c_puct: float = 5.0,
+        vl_policy: VirtualLossPolicy | None = None,
+        use_gpu: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 1 <= batch_size <= num_workers:
+            raise ValueError(
+                f"batch_size must be in [1, num_workers={num_workers}], got {batch_size}"
+            )
+        if use_gpu and platform.gpu is None:
+            raise ValueError("use_gpu=True requires a platform with a GPU spec")
+        self.game = game
+        self.evaluator = evaluator
+        self.platform = platform
+        self.latency = LatencyModel(platform)
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.c_puct = c_puct
+        self.vl_policy = vl_policy or WUVirtualLoss()
+        self.use_gpu = use_gpu
+
+    # -- entry point ----------------------------------------------------------
+    def run(self, num_playouts: int) -> SimResult:
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if self.game.is_terminal:
+            raise ValueError("cannot search from a terminal state")
+        engine = SimEngine()
+        root = Node()
+        evaluation = self.evaluator.evaluate(self.game)
+        expand(root, self.game, evaluation)
+        root.visit_count += 1
+
+        request_fifo = SimFIFO("requests")
+        response_fifo = SimFIFO("responses")
+        gpu = SimGPU(engine, self.latency) if self.use_gpu else None
+        path_lengths: list[int] = []
+
+        if gpu is None:
+            for w in range(self.num_workers):
+                engine.spawn(
+                    self._cpu_worker(request_fifo, response_fifo), f"worker-{w}"
+                )
+        engine.spawn(
+            self._master(
+                engine, root, num_playouts, request_fifo, response_fifo, gpu,
+                path_lengths,
+            ),
+            "master",
+        )
+        total_time = engine.run()
+        total_time += (
+            self.latency.dnn_cpu()
+            if not self.use_gpu
+            else (self.latency.gpu_transfer(1) + self.latency.gpu_compute(1))
+        )
+        return SimResult(
+            scheme="local_tree",
+            num_workers=self.num_workers,
+            batch_size=self.batch_size,
+            playouts=num_playouts,
+            total_time=total_time,
+            root=root,
+            lock_wait=0.0,
+            gpu_busy=gpu.busy_time if gpu else 0.0,
+            gpu_batches=gpu.batches if gpu else 0,
+            compute_by_tag=dict(engine.metrics.compute_by_tag),
+            mean_path_length=float(np.mean(path_lengths)) if path_lengths else 0.0,
+        )
+
+    # -- CPU evaluation worker ---------------------------------------------
+    def _cpu_worker(self, request_fifo: SimFIFO, response_fifo: SimFIFO):
+        lat = self.latency
+        while True:
+            job = yield Get(request_fifo)
+            if job is _STOP:
+                return
+            items, evaluations = job
+            # one worker thread evaluates its sub-batch serially
+            yield Compute(lat.dnn_cpu() * len(items), tag="dnn")
+            yield Put(response_fifo, (items, evaluations))
+
+    # -- master task (Algorithm 3, rollout_n_times) ---------------------------
+    def _master(
+        self,
+        engine: SimEngine,
+        root: Node,
+        num_playouts: int,
+        request_fifo: SimFIFO,
+        response_fifo: SimFIFO,
+        gpu: SimGPU | None,
+        path_lengths: list[int],
+    ):
+        lat = self.latency
+        vl = self.vl_policy
+        pending: list[tuple[Node, Game]] = []
+        inflight = 0
+        launched = 1
+        completed = 1
+
+        def make_flush():
+            # sub-generator: dispatch the accumulated sub-batch
+            items = pending.copy()
+            pending.clear()
+            games = [g for _, g in items]
+            evaluations = self.evaluator.evaluate_batch(games)
+            yield Compute(lat.pipe(), tag="pipe")
+            if gpu is not None:
+                future = gpu.submit(len(items), (items, evaluations))
+
+                def deliver_task():
+                    result = yield Wait(future)
+                    yield Put(response_fifo, result)
+
+                engine.spawn(deliver_task(), "gpu-deliver")
+            else:
+                yield Put(request_fifo, (items, evaluations))
+
+        while completed < num_playouts:
+            # master-thread selection while evaluation capacity remains
+            while launched < num_playouts and inflight + len(pending) < self.num_workers:
+                game = self.game.copy()
+                node = root
+                depth = 0
+                vl.on_descend(node)
+                yield Compute(lat.vl_update(shared=False), tag="vl")
+                while not node.is_leaf and not node.is_terminal:
+                    yield Compute(
+                        lat.select_node(len(node.children), shared=False),
+                        tag="select",
+                    )
+                    node = select_child(node, self.c_puct, vl)
+                    game.step(node.action)
+                    depth += 1
+                    vl.on_descend(node)
+                    yield Compute(lat.vl_update(shared=False), tag="vl")
+                    if game.is_terminal:
+                        node.terminal_value = game.terminal_value
+                path_lengths.append(depth)
+                launched += 1
+                if node.is_terminal:
+                    yield Compute(
+                        (depth + 1) * lat.backup_node(shared=False), tag="backup"
+                    )
+                    backup(node, node.terminal_value, vl)
+                    completed += 1
+                    continue
+                pending.append((node, game))
+                if len(pending) >= self.batch_size:
+                    inflight += len(pending)
+                    yield from make_flush()
+
+            if completed >= num_playouts:
+                break
+            if pending and (launched >= num_playouts or inflight == 0):
+                inflight += len(pending)
+                yield from make_flush()
+            if inflight == 0:
+                continue
+            # wait for a completed evaluation (Algorithm 3 lines 12-16)
+            items, evaluations = yield Get(response_fifo)
+            inflight -= len(items)
+            for (leaf, leaf_game), evaluation in zip(items, evaluations):
+                yield Compute(
+                    lat.expand(len(leaf_game.legal_actions()), shared=False),
+                    tag="expand",
+                )
+                value = expand(leaf, leaf_game, evaluation)
+                yield Compute(
+                    (leaf.depth() + 1) * lat.backup_node(shared=False), tag="backup"
+                )
+                backup(leaf, value, vl)
+                completed += 1
+
+        # shut the CPU worker pool down
+        if gpu is None:
+            for _ in range(self.num_workers):
+                yield Put(request_fifo, _STOP)

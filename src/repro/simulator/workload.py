@@ -1,0 +1,81 @@
+"""Latency model: hardware spec + application parameters -> operation costs.
+
+This is the glue between :mod:`repro.simulator.hardware` and the scheme
+simulations: every virtual-time charge the simulated workers make goes
+through one of these methods, so a single object fully determines the
+timing behaviour.  The same object also feeds the analytic performance
+models of :mod:`repro.perfmodel.models`, guaranteeing the model and the
+simulator price operations identically (the paper's design-time profiling
+plays this role on real hardware, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.hardware import PlatformSpec
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-operation virtual-time costs for one platform.
+
+    ``shared`` selects the memory regime: shared-tree operations pay DDR
+    costs (the tree lives in CPU main memory and is bounced between cores);
+    local-tree operations pay cache costs (the tree stays resident in the
+    master core's LLC) -- the paper's Section 3.1 distinction.
+    """
+
+    platform: PlatformSpec
+
+    # -- in-tree operations -------------------------------------------------
+    def select_node(self, num_children: int, shared: bool) -> float:
+        """UCT scan of one node's children (Equation 1 over the fanout)."""
+        if num_children < 0:
+            raise ValueError("num_children must be non-negative")
+        cpu = self.platform.cpu
+        scan = cpu.child_scan_ddr if shared else cpu.child_scan_cache
+        return num_children * scan
+
+    def vl_update(self, shared: bool) -> float:
+        """Virtual-loss write on one traversed node."""
+        cpu = self.platform.cpu
+        return cpu.node_update_ddr if shared else cpu.node_update_cache
+
+    def expand(self, num_children: int, shared: bool) -> float:
+        """Child-list creation for a newly expanded node."""
+        if num_children < 0:
+            raise ValueError("num_children must be non-negative")
+        cpu = self.platform.cpu
+        base = cpu.node_update_ddr if shared else cpu.node_update_cache
+        return base + num_children * cpu.child_alloc
+
+    def backup_node(self, shared: bool) -> float:
+        """Visit/value/VL update of one node during BackUp."""
+        cpu = self.platform.cpu
+        return cpu.node_update_ddr if shared else cpu.node_update_cache
+
+    def lock_overhead(self) -> float:
+        """Uncontended acquire+release cost (shared tree only)."""
+        return self.platform.cpu.lock_overhead
+
+    def pipe(self) -> float:
+        """One master<->worker FIFO transfer (local tree only)."""
+        return self.platform.cpu.pipe_latency
+
+    # -- evaluation -------------------------------------------------------
+    def dnn_cpu(self) -> float:
+        """Single-state inference on one CPU thread."""
+        return self.platform.cpu.dnn_latency
+
+    def gpu_transfer(self, batch: int) -> float:
+        if self.platform.gpu is None:
+            raise ValueError("platform has no GPU")
+        return self.platform.gpu.transfer_time(batch)
+
+    def gpu_compute(self, batch: int) -> float:
+        if self.platform.gpu is None:
+            raise ValueError("platform has no GPU")
+        return self.platform.gpu.compute_time(batch)

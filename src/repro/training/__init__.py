@@ -1,0 +1,33 @@
+"""Algorithm-1 training pipeline: self-play data collection + SGD.
+
+- :mod:`repro.training.dataset`  -- replay buffer with symmetry
+  augmentation (the training datapoints (s_t, pi_t, r) of Section 2.1).
+- :mod:`repro.training.selfplay` -- one episode of tree-search-guided play
+  (Algorithm 1 lines 3-12).
+- :mod:`repro.training.trainer`  -- the SGD stage (lines 13-15) over the
+  NumPy network with the Equation-2 loss.
+- :mod:`repro.training.pipeline` -- the full loop, with a pluggable clock
+  so experiments can account time in wall-clock or in modelled
+  (simulator-derived) platform time.
+- :mod:`repro.training.metrics`  -- loss curves and the paper's
+  samples/second throughput metric (Section 5.4).
+"""
+
+from repro.training.dataset import ReplayBuffer, TrainingExample
+from repro.training.metrics import LossPoint, TrainingMetrics
+from repro.training.pipeline import TrainingPipeline, VirtualClock, WallClock
+from repro.training.selfplay import EpisodeResult, play_episode
+from repro.training.trainer import Trainer
+
+__all__ = [
+    "EpisodeResult",
+    "LossPoint",
+    "ReplayBuffer",
+    "Trainer",
+    "TrainingExample",
+    "TrainingMetrics",
+    "TrainingPipeline",
+    "VirtualClock",
+    "WallClock",
+    "play_episode",
+]

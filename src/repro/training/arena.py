@@ -1,0 +1,138 @@
+"""Agent arena: head-to-head matches and Elo ratings.
+
+Used to compare search schemes and network checkpoints by playing
+strength rather than loss -- the evaluation the paper's Section 5.5 loss
+curves proxy for.  Supports any object with
+``get_action_prior(game, num_playouts)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.search import sample_action
+from repro.utils.rng import new_rng
+
+__all__ = ["MatchRecord", "ArenaResult", "Arena", "elo_ratings"]
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One finished game between two named agents."""
+
+    first: str  # agent who moved first (player +1)
+    second: str
+    winner: int  # +1, -1 or 0
+    moves: int
+
+    def score_for(self, name: str) -> float:
+        """1 for a win, 0.5 for a draw, 0 for a loss (Elo convention)."""
+        if self.winner == 0:
+            return 0.5
+        won = (self.winner == 1) == (name == self.first)
+        return 1.0 if won else 0.0
+
+
+@dataclass
+class ArenaResult:
+    records: list[MatchRecord] = field(default_factory=list)
+
+    def score(self, name: str) -> float:
+        return sum(
+            r.score_for(name) for r in self.records if name in (r.first, r.second)
+        )
+
+    def games_played(self, name: str) -> int:
+        return sum(1 for r in self.records if name in (r.first, r.second))
+
+    def elo(self, anchor: float = 1000.0) -> dict[str, float]:
+        return elo_ratings(self.records, anchor=anchor)
+
+
+class Arena:
+    """Round-robin tournament runner."""
+
+    def __init__(
+        self,
+        game_factory,
+        num_playouts: int = 100,
+        temperature: float = 0.0,
+        opening_random_moves: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if opening_random_moves < 0:
+            raise ValueError("opening_random_moves must be >= 0")
+        self.game_factory = game_factory
+        self.num_playouts = num_playouts
+        self.temperature = temperature
+        self.opening_random_moves = opening_random_moves
+        self.rng = new_rng(rng)
+
+    def play_game(self, first, second, first_name: str, second_name: str) -> MatchRecord:
+        """One game; *first* moves as player +1."""
+        game: Game = self.game_factory()
+        moves = 0
+        while not game.is_terminal:
+            if moves < self.opening_random_moves:
+                # randomised openings de-correlate deterministic agents
+                action = int(self.rng.choice(game.legal_actions()))
+            else:
+                agent = first if game.current_player == 1 else second
+                prior = agent.get_action_prior(game, self.num_playouts)
+                action = sample_action(prior, self.rng, self.temperature)
+            game.step(action)
+            moves += 1
+        winner = game.winner
+        assert winner is not None
+        return MatchRecord(first=first_name, second=second_name, winner=int(winner), moves=moves)
+
+    def round_robin(
+        self, agents: dict[str, object], games_per_pair: int = 2
+    ) -> ArenaResult:
+        """Every ordered pair plays; colours alternate by construction."""
+        if len(agents) < 2:
+            raise ValueError("need at least two agents")
+        if games_per_pair < 1:
+            raise ValueError("games_per_pair must be >= 1")
+        result = ArenaResult()
+        for name_a, name_b in itertools.permutations(agents, 2):
+            for _ in range(games_per_pair):
+                record = self.play_game(agents[name_a], agents[name_b], name_a, name_b)
+                result.records.append(record)
+        return result
+
+
+def elo_ratings(
+    records: list[MatchRecord],
+    anchor: float = 1000.0,
+    iterations: int = 200,
+    lr: float = 8.0,
+) -> dict[str, float]:
+    """Maximum-likelihood Elo fit by gradient ascent.
+
+    Model: P(a beats b) = 1 / (1 + 10^((R_b - R_a)/400)).  Ratings are
+    shifted so their mean equals *anchor* (Elo is translation-invariant).
+    """
+    if not records:
+        raise ValueError("no match records")
+    names = sorted({n for r in records for n in (r.first, r.second)})
+    idx = {n: i for i, n in enumerate(names)}
+    ratings = np.zeros(len(names))
+    for _ in range(iterations):
+        grad = np.zeros(len(names))
+        for r in records:
+            i, j = idx[r.first], idx[r.second]
+            expected = 1.0 / (1.0 + 10 ** ((ratings[j] - ratings[i]) / 400.0))
+            s = r.score_for(r.first)
+            grad[i] += s - expected
+            grad[j] += (1.0 - s) - (1.0 - expected)
+        ratings += lr * grad / max(1, len(records))
+    ratings += anchor - ratings.mean()
+    return {name: float(ratings[idx[name]]) for name in names}

@@ -1,0 +1,77 @@
+"""Replay buffer of self-play training examples.
+
+Each example is the paper's datapoint ``(s_t, pi_t, r)``: encoded state
+planes, the root action prior from tree search, and the episode outcome
+from the mover's perspective.  Board symmetries (the game's dihedral
+group) multiply each stored example, the standard AlphaZero augmentation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.utils.rng import new_rng
+
+__all__ = ["TrainingExample", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One (s, pi, z) training datapoint."""
+
+    planes: np.ndarray  # (C, H, W)
+    policy: np.ndarray  # (A,) visit-count distribution
+    value: float  # episode outcome in [-1, 1], mover's perspective
+
+    def __post_init__(self) -> None:
+        if not -1.0 - 1e-9 <= self.value <= 1.0 + 1e-9:
+            raise ValueError(f"value {self.value} outside [-1, 1]")
+
+
+class ReplayBuffer:
+    """Bounded FIFO of training examples with batch sampling."""
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque[TrainingExample] = deque(maxlen=capacity)
+        self.rng = new_rng(rng)
+        self.total_added = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, example: TrainingExample) -> None:
+        self._items.append(example)
+        self.total_added += 1
+
+    def add_with_symmetries(self, game: Game, example: TrainingExample) -> int:
+        """Store the example and its full symmetry orbit; returns count."""
+        orbit = game.symmetries(example.planes, example.policy)
+        for planes, policy in orbit:
+            self.add(TrainingExample(planes=planes, policy=policy, value=example.value))
+        return len(orbit)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform sample with replacement: (states, policies, values)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self._items:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = self.rng.integers(0, len(self._items), size=batch_size)
+        items = [self._items[i] for i in idx]
+        states = np.stack([it.planes for it in items])
+        policies = np.stack([it.policy for it in items])
+        values = np.array([it.value for it in items], dtype=np.float64)
+        return states, policies, values

@@ -1,0 +1,77 @@
+"""Training metrics: loss-over-time curves and throughput (Section 5.4).
+
+The paper's throughput metric:
+
+    samples/second = (samples processed per episode)
+                     / sum(tree-based-search time + DNN-update time)
+
+where one *sample* is the product of a full move (all its playouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LossPoint", "TrainingMetrics"]
+
+
+@dataclass(frozen=True)
+class LossPoint:
+    """One loss measurement on the training clock."""
+
+    time: float
+    episode: int
+    step: int
+    total: float
+    value_loss: float
+    policy_loss: float
+
+
+@dataclass
+class TrainingMetrics:
+    """Accumulates what Figures 6 and 7 plot."""
+
+    loss_history: list[LossPoint] = field(default_factory=list)
+    samples_produced: int = 0
+    search_time: float = 0.0
+    train_time: float = 0.0
+    episodes: int = 0
+
+    def record_loss(
+        self, time: float, episode: int, step: int, total: float,
+        value_loss: float, policy_loss: float,
+    ) -> None:
+        self.loss_history.append(
+            LossPoint(
+                time=time,
+                episode=episode,
+                step=step,
+                total=total,
+                value_loss=value_loss,
+                policy_loss=policy_loss,
+            )
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second over search + training time (Section 5.4)."""
+        elapsed = self.search_time + self.train_time
+        return self.samples_produced / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.loss_history:
+            raise ValueError("no loss recorded")
+        return self.loss_history[-1].total
+
+    def smoothed_losses(self, window: int = 5) -> list[float]:
+        """Trailing-window moving average of the total loss."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        totals = [p.total for p in self.loss_history]
+        out = []
+        for i in range(len(totals)):
+            lo = max(0, i - window + 1)
+            chunk = totals[lo : i + 1]
+            out.append(sum(chunk) / len(chunk))
+        return out

@@ -1,0 +1,185 @@
+"""The full DNN-MCTS training loop (Algorithm 1).
+
+    for __ in training_episodes:
+        collect data with tree-based search (shared- or local-tree)
+        for __ in SGD_iterations:
+            batch <- sample(dataset); SGD_Train(batch)
+
+Timekeeping is pluggable: :class:`WallClock` measures the host (useful for
+functional runs), :class:`VirtualClock` charges modelled platform time --
+the per-iteration latency from the DES or the performance models -- so the
+loss-vs-time experiment (Figure 7) can be plotted on the paper's time axis
+without the paper's hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.training.dataset import ReplayBuffer, TrainingExample
+from repro.training.metrics import TrainingMetrics
+from repro.training.selfplay import play_episode
+from repro.training.trainer import Trainer
+from repro.utils.rng import new_rng
+
+__all__ = ["WallClock", "VirtualClock", "TrainingPipeline"]
+
+
+class WallClock:
+    """Real elapsed time; charge methods measure nothing themselves."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def charge_search(self, playouts: int) -> float:
+        return 0.0  # search time is observed, not modelled
+
+    def charge_train(self, batches: int) -> float:
+        return 0.0
+
+
+class VirtualClock:
+    """Modelled platform time: advance explicitly per charged operation.
+
+    Parameters
+    ----------
+    per_iteration : modelled amortized per-worker-iteration latency of the
+        chosen parallel configuration (seconds per playout).
+    per_train_batch : modelled duration of one SGD batch on the training
+        resource (GPU-offloaded or 32 CPU threads, Section 5.4).
+    train_overlapped : when True (the CPU-GPU platform), training runs on
+        the accelerator concurrently with the search, so training time is
+        hidden unless it exceeds the search time of the same episode --
+        the paper's Section 5.4 narrative.
+    """
+
+    def __init__(
+        self,
+        per_iteration: float,
+        per_train_batch: float,
+        train_overlapped: bool = False,
+    ) -> None:
+        if per_iteration < 0 or per_train_batch < 0:
+            raise ValueError("latencies must be non-negative")
+        self.per_iteration = per_iteration
+        self.per_train_batch = per_train_batch
+        self.train_overlapped = train_overlapped
+        self.now = 0.0
+        self._last_search_duration = 0.0
+
+    def charge_search(self, playouts: int) -> float:
+        dt = playouts * self.per_iteration
+        self.now += dt
+        self._last_search_duration = dt
+        return dt
+
+    def charge_train(self, batches: int) -> float:
+        dt = batches * self.per_train_batch
+        if self.train_overlapped:
+            # concurrent with the *next* episode's search; only the excess
+            # over the search duration costs wall time
+            visible = max(0.0, dt - self._last_search_duration)
+        else:
+            visible = dt
+        self.now += visible
+        return visible
+
+
+class TrainingPipeline:
+    """Algorithm 1 driver."""
+
+    def __init__(
+        self,
+        game: Game,
+        scheme,
+        trainer: Trainer,
+        buffer: ReplayBuffer | None = None,
+        num_playouts: int = 200,
+        sgd_iterations: int = 4,
+        batch_size: int = 64,
+        temperature_moves: int = 8,
+        max_moves: int | None = None,
+        clock: WallClock | VirtualClock | None = None,
+        rng: np.random.Generator | int | None = None,
+        augment_symmetries: bool = True,
+    ) -> None:
+        if sgd_iterations < 0:
+            raise ValueError("sgd_iterations must be >= 0")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.game = game
+        self.scheme = scheme
+        self.trainer = trainer
+        self.rng = new_rng(rng)
+        self.buffer = buffer or ReplayBuffer(rng=self.rng)
+        self.num_playouts = num_playouts
+        self.sgd_iterations = sgd_iterations
+        self.batch_size = batch_size
+        self.temperature_moves = temperature_moves
+        self.max_moves = max_moves
+        self.clock = clock or WallClock()
+        self.augment_symmetries = augment_symmetries
+        self.metrics = TrainingMetrics()
+
+    def run_episode(self) -> None:
+        """One data-collection episode followed by the SGD stage."""
+        t0 = time.perf_counter()
+        episode = play_episode(
+            self.game,
+            self.scheme,
+            self.num_playouts,
+            temperature_moves=self.temperature_moves,
+            max_moves=self.max_moves,
+            rng=self.rng,
+        )
+        wall_search = time.perf_counter() - t0
+        modelled = self.clock.charge_search(episode.total_playouts)
+        self.metrics.search_time += modelled if modelled > 0 else wall_search
+        self.metrics.samples_produced += episode.moves
+        self.metrics.episodes += 1
+
+        for example in episode.examples:
+            if self.augment_symmetries:
+                self.buffer.add_with_symmetries(self.game, example)
+            else:
+                self.buffer.add(example)
+
+        if len(self.buffer) == 0 or self.sgd_iterations == 0:
+            return
+        t1 = time.perf_counter()
+        for _ in range(self.sgd_iterations):
+            states, policies, values = self.buffer.sample(self.batch_size)
+            loss = self.trainer.train_step(states, policies, values)
+            self.metrics.record_loss(
+                time=self.clock.now,
+                episode=self.metrics.episodes,
+                step=self.trainer.steps,
+                total=loss.total,
+                value_loss=loss.value_loss,
+                policy_loss=loss.policy_loss,
+            )
+        wall_train = time.perf_counter() - t1
+        modelled = self.clock.charge_train(self.sgd_iterations)
+        self.metrics.train_time += modelled if modelled > 0 else wall_train
+
+    def run(
+        self,
+        episodes: int,
+        on_episode: Callable[[int, TrainingMetrics], None] | None = None,
+    ) -> TrainingMetrics:
+        """Run *episodes* full Algorithm-1 iterations."""
+        if episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        for i in range(episodes):
+            self.run_episode()
+            if on_episode is not None:
+                on_episode(i, self.metrics)
+        return self.metrics

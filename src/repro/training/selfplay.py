@@ -1,0 +1,80 @@
+"""Self-play episode runner (Algorithm 1, lines 3-12).
+
+Plays one game with moves chosen from tree-search action priors, records
+``(state, pi)`` at every ply, and back-fills the final reward ``r`` once
+the environment terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.search import sample_action
+from repro.training.dataset import TrainingExample
+from repro.utils.rng import new_rng
+
+__all__ = ["EpisodeResult", "play_episode"]
+
+
+@dataclass
+class EpisodeResult:
+    """Everything one episode produced."""
+
+    examples: list[TrainingExample] = field(default_factory=list)
+    winner: int = 0
+    moves: int = 0
+    total_playouts: int = 0
+
+
+def play_episode(
+    game: Game,
+    scheme,
+    num_playouts: int,
+    temperature_moves: int = 8,
+    temperature: float = 1.0,
+    max_moves: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> EpisodeResult:
+    """Play one full episode and return its training examples.
+
+    Parameters
+    ----------
+    scheme : any object with ``get_action_prior(game, num_playouts)`` --
+        serial, shared-tree, local-tree, leaf-/root-parallel all qualify
+        (the "program template" interchangeability of Section 3.2).
+    temperature_moves : plies played with sampling *temperature*; later
+        moves are argmax (the AlphaZero convention, keeps endgames sharp).
+    max_moves : safety cap; ``None`` plays to termination.
+    """
+    if num_playouts < 1:
+        raise ValueError("num_playouts must be >= 1")
+    rng = new_rng(rng)
+    env = game.copy()
+    history: list[tuple[np.ndarray, np.ndarray, int]] = []  # (planes, pi, mover)
+    result = EpisodeResult()
+
+    while not env.is_terminal:
+        if max_moves is not None and result.moves >= max_moves:
+            break
+        prior = scheme.get_action_prior(env, num_playouts)
+        history.append((env.encode(), prior, env.current_player))
+        temp = temperature if result.moves < temperature_moves else 0.0
+        action = sample_action(prior, rng, temp)
+        env.step(action)
+        result.moves += 1
+        result.total_playouts += num_playouts
+
+    winner = env.winner if env.is_terminal else 0
+    result.winner = int(winner) if winner is not None else 0
+    for planes, prior, mover in history:
+        if result.winner == 0:
+            z = 0.0
+        else:
+            z = 1.0 if result.winner == mover else -1.0
+        result.examples.append(
+            TrainingExample(planes=planes, policy=prior, value=z)
+        )
+    return result

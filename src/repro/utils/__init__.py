@@ -1,0 +1,13 @@
+"""Shared utilities: seeded RNG plumbing, timing helpers, logging."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timing import AmortizedStats, Timer, WelfordAccumulator
+
+__all__ = [
+    "AmortizedStats",
+    "RngMixin",
+    "Timer",
+    "WelfordAccumulator",
+    "new_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,53 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library takes either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps
+experiments reproducible: a single root seed fans out deterministically to
+workers, self-play episodes and weight initialisers via
+:func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["new_rng", "spawn_rngs", "RngMixin"]
+
+
+def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so callers can share
+    a stream; anything else (``None`` or an int) seeds a fresh PCG64 stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive *n* statistically independent child generators from *rng*.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the children are
+    independent regardless of how the parent is consumed afterwards --
+    important when parallel workers each own a stream.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return list(rng.spawn(n))
+
+
+class RngMixin:
+    """Mixin giving a class a lazily-created ``self.rng`` attribute."""
+
+    _rng: np.random.Generator | None = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = new_rng()
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: int | np.random.Generator | None) -> None:
+        self._rng = new_rng(value)

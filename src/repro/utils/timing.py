@@ -1,0 +1,110 @@
+"""Timing and streaming-statistics helpers used by profiling and benchmarks."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WelfordAccumulator", "AmortizedStats"]
+
+
+class Timer:
+    """Context-manager wall-clock timer with nanosecond resolution.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: int | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = (time.perf_counter_ns() - self._start) * 1e-9
+
+
+class WelfordAccumulator:
+    """Streaming mean/variance via Welford's algorithm.
+
+    Numerically stable for long profiling runs where accumulating a sum of
+    squares would lose precision.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "WelfordAccumulator") -> "WelfordAccumulator":
+        """Combine two accumulators (parallel-merge form of Welford)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self._mean, self._m2, self.count = other._mean, other._m2, other.count
+            self.min, self.max = other.min, other.max
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+@dataclass
+class AmortizedStats:
+    """Per-operation amortized latency record used by the profiler.
+
+    The paper reports *amortized per-worker-iteration latency*: total time
+    for a move divided by the number of playouts (Section 5.3).  This class
+    carries that convention around explicitly so callers never divide by
+    the wrong denominator.
+    """
+
+    total_time: float = 0.0
+    operations: int = 0
+    per_op: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+
+    def record(self, elapsed: float, ops: int = 1) -> None:
+        if ops <= 0:
+            raise ValueError("ops must be positive")
+        self.total_time += elapsed
+        self.operations += ops
+        self.per_op.add(elapsed / ops)
+
+    @property
+    def amortized(self) -> float:
+        """Total time divided by operation count (the paper's metric)."""
+        return self.total_time / self.operations if self.operations else 0.0

@@ -1,0 +1,101 @@
+"""Tests for the Connect-Four environment."""
+
+import numpy as np
+import pytest
+
+from repro.games import ConnectFour
+
+
+class TestGravity:
+    def test_stones_stack(self):
+        g = ConnectFour()
+        g.step(3)
+        g.step(3)
+        assert g.board[0, 3] == 1
+        assert g.board[1, 3] == -1
+        assert g.heights[3] == 2
+
+    def test_full_column_rejected(self):
+        g = ConnectFour(rows=4, cols=4)
+        for _ in range(4):
+            g.step(0)
+        with pytest.raises(ValueError):
+            g.step(0)
+
+    def test_full_column_not_legal(self):
+        g = ConnectFour(rows=4, cols=5)
+        for _ in range(4):
+            g.step(2)
+        assert 2 not in g.legal_actions()
+
+
+class TestWins:
+    def test_vertical(self):
+        g = ConnectFour()
+        for a in [0, 1, 0, 1, 0, 1, 0]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_horizontal(self):
+        g = ConnectFour()
+        for a in [0, 0, 1, 1, 2, 2, 3]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_diagonal(self):
+        g = ConnectFour()
+        # build a / diagonal for X at (0,0),(1,1),(2,2),(3,3)
+        moves = [0, 1, 1, 2, 2, 3, 2, 3, 3, 6, 3]
+        for a in moves:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_draw(self):
+        g = ConnectFour(rows=4, cols=4, n_in_row=4)
+        # fills the board with rows X O X O / X O X O / O X O X / O X O X
+        # and columns X X O O etc. -- no 4-line anywhere
+        for a in [0, 1, 0, 1, 2, 3, 2, 3, 1, 0, 1, 0, 3, 2, 3, 2]:
+            g.step(a)
+        assert g.is_terminal
+        assert g.winner == 0
+
+
+class TestInterface:
+    def test_action_space_is_columns(self):
+        g = ConnectFour()
+        assert g.action_size == 7
+        assert g.board_shape == (6, 7)
+
+    def test_encoding_shape(self):
+        assert ConnectFour().encode().shape == (4, 6, 7)
+
+    def test_last_move_plane(self):
+        g = ConnectFour()
+        g.step(4)
+        planes = g.encode()
+        assert planes[2][0, 4] == 1.0
+
+    def test_copy_independence(self):
+        g = ConnectFour()
+        g.step(0)
+        c = g.copy()
+        c.step(0)
+        assert g.heights[0] == 1
+        assert c.heights[0] == 2
+
+    def test_mirror_symmetry_only(self):
+        g = ConnectFour()
+        pol = np.zeros(7)
+        pol[0] = 1.0
+        orbit = g.symmetries(g.encode(), pol)
+        assert len(orbit) == 2
+        _, mirrored = orbit[1]
+        assert mirrored[6] == 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ConnectFour(rows=2, cols=2, n_in_row=4)
+
+    def test_render_shows_column_indices(self):
+        text = ConnectFour().render()
+        assert "0 1 2 3 4 5 6" in text

@@ -1,0 +1,229 @@
+"""Tests for the Gomoku environment (the paper's benchmark game)."""
+
+import numpy as np
+import pytest
+
+from repro.games import Gomoku
+
+
+class TestConstruction:
+    def test_paper_configuration(self):
+        g = Gomoku()  # defaults are the paper's 15x15, five-in-a-row
+        assert g.board_shape == (15, 15)
+        assert g.action_size == 225
+        assert g.n_in_row == 5
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Gomoku(size=2)
+        with pytest.raises(ValueError):
+            Gomoku(size=5, n_in_row=6)
+        with pytest.raises(ValueError):
+            Gomoku(size=5, n_in_row=2)
+
+
+class TestRules:
+    def test_players_alternate(self):
+        g = Gomoku(6, 4)
+        assert g.current_player == 1
+        g.step(0)
+        assert g.current_player == -1
+        g.step(1)
+        assert g.current_player == 1
+
+    def test_occupied_cell_rejected(self):
+        g = Gomoku(6, 4)
+        g.step(7)
+        with pytest.raises(ValueError):
+            g.step(7)
+
+    def test_out_of_range_rejected(self):
+        g = Gomoku(6, 4)
+        with pytest.raises(ValueError):
+            g.step(36)
+        with pytest.raises(ValueError):
+            g.step(-1)
+
+    def test_horizontal_win(self):
+        g = Gomoku(6, 4)
+        for a in [0, 6, 1, 7, 2, 8, 3]:  # X plays 0,1,2,3 on row 0
+            g.step(a)
+        assert g.winner == 1
+        assert g.is_terminal
+
+    def test_vertical_win(self):
+        g = Gomoku(6, 4)
+        for a in [0, 1, 6, 7, 12, 13, 18]:  # X: column 0
+            g.step(a)
+        assert g.winner == 1
+
+    def test_diagonal_win(self):
+        g = Gomoku(6, 4)
+        for a in [0, 1, 7, 2, 14, 3, 21]:  # X: 0,7,14,21 = main diagonal
+            g.step(a)
+        assert g.winner == 1
+
+    def test_anti_diagonal_win(self):
+        g = Gomoku(6, 4)
+        for a in [3, 0, 8, 1, 13, 2, 18]:  # X: 3,8,13,18
+            g.step(a)
+        assert g.winner == 1
+
+    def test_second_player_can_win(self):
+        g = Gomoku(6, 4)
+        for a in [0, 30, 1, 31, 2, 32, 35, 33]:  # O plays 30,31,32,33
+            g.step(a)
+        assert g.winner == -1
+
+    def test_win_in_middle_of_line(self):
+        """Completing a line from the middle (not the end) must count."""
+        g = Gomoku(6, 4)
+        # X places 0, 1, 3 then fills the gap at 2
+        for a in [0, 30, 1, 31, 3, 32, 2]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_no_win_with_gap(self):
+        g = Gomoku(6, 4)
+        for a in [0, 30, 1, 31, 3, 32]:
+            g.step(a)
+        assert g.winner is None
+
+    def test_draw_on_full_board(self):
+        g = Gomoku(4, 4)
+        # fill a 4x4 board in a pattern with no 4-in-a-row:
+        # X O X O / X O X O / O X O X / O X O X
+        order = [0, 1, 2, 3, 4, 5, 6, 7, 9, 8, 11, 10, 13, 12, 15, 14]
+        for a in order:
+            if g.is_terminal:
+                break
+            g.step(a)
+        assert g.is_terminal
+        assert g.winner == 0
+
+    def test_moves_after_end_rejected(self):
+        g = Gomoku(6, 4)
+        for a in [0, 6, 1, 7, 2, 8, 3]:
+            g.step(a)
+        with pytest.raises(ValueError):
+            g.step(20)
+
+    def test_n_in_row_longer_than_needed(self):
+        """More than n stones in a row still wins (overline allowed)."""
+        g = Gomoku(7, 4)
+        # X: 0,1,2,4 then plays 3, making five contiguous on row 0;
+        # O's replies are scattered so O never lines up first.
+        for a in [0, 14, 1, 20, 2, 26, 4, 40, 3]:
+            g.step(a)
+        assert g.winner == 1
+
+
+class TestStateAccessors:
+    def test_legal_actions_shrink(self):
+        g = Gomoku(5, 4)
+        assert len(g.legal_actions()) == 25
+        g.step(12)
+        legal = g.legal_actions()
+        assert len(legal) == 24
+        assert 12 not in legal
+
+    def test_terminal_value_perspective(self):
+        g = Gomoku(6, 4)
+        for a in [0, 6, 1, 7, 2, 8, 3]:
+            g.step(a)
+        # X (player 1) won; it is now O's turn, so mover-perspective is -1
+        assert g.current_player == -1
+        assert g.terminal_value == -1.0
+
+    def test_terminal_value_requires_terminal(self):
+        with pytest.raises(ValueError):
+            _ = Gomoku(6, 4).terminal_value
+
+    def test_copy_independence(self):
+        g = Gomoku(6, 4)
+        g.step(0)
+        c = g.copy()
+        c.step(1)
+        assert g.board[0, 1] == 0
+        assert g.move_count == 1
+        assert c.move_count == 2
+
+    def test_legal_mask(self):
+        g = Gomoku(5, 4)
+        g.step(3)
+        mask = g.legal_mask()
+        assert mask.sum() == 24
+        assert not mask[3]
+
+
+class TestEncoding:
+    def test_plane_shapes(self):
+        g = Gomoku(6, 4)
+        assert g.encode().shape == (4, 6, 6)
+
+    def test_perspective_flips(self):
+        g = Gomoku(6, 4)
+        g.step(0)
+        planes = g.encode()  # O to move: plane 0 = O stones (none)
+        assert planes[0].sum() == 0
+        assert planes[1].sum() == 1
+        assert planes[1][0, 0] == 1
+
+    def test_last_move_plane(self):
+        g = Gomoku(6, 4)
+        g.step(8)
+        planes = g.encode()
+        assert planes[2][1, 2] == 1
+        assert planes[2].sum() == 1
+
+    def test_colour_plane(self):
+        g = Gomoku(6, 4)
+        assert np.all(g.encode()[3] == 1.0)  # first player to move
+        g.step(0)
+        assert np.all(g.encode()[3] == 0.0)
+
+    def test_empty_board_no_last_move(self):
+        assert Gomoku(6, 4).encode()[2].sum() == 0
+
+
+class TestSymmetries:
+    def test_orbit_size_is_8(self):
+        g = Gomoku(5, 4)
+        orbit = g.symmetries(g.encode(), np.full(25, 1 / 25))
+        assert len(orbit) == 8
+
+    def test_policy_mass_preserved(self):
+        g = Gomoku(5, 4)
+        rng = np.random.default_rng(0)
+        pol = rng.dirichlet(np.ones(25))
+        for planes, p in g.symmetries(g.encode(), pol):
+            assert np.isclose(p.sum(), 1.0)
+            assert planes.shape == (4, 5, 5)
+
+    def test_rotation_moves_corner_policy(self):
+        g = Gomoku(3, 3)
+        pol = np.zeros(9)
+        pol[0] = 1.0  # top-left corner
+        orbit = g.symmetries(g.encode(), pol)
+        corners = {0, 2, 6, 8}
+        for _, p in orbit:
+            assert int(np.argmax(p)) in corners
+
+    def test_stone_and_policy_transform_together(self):
+        g = Gomoku(3, 3)
+        g.step(0)  # stone at top-left
+        pol = np.zeros(9)
+        pol[0] = 1.0
+        for planes, p in g.symmetries(g.encode(), pol):
+            stone_at = np.argwhere(planes[1] == 1)[0]
+            pol_at = divmod(int(np.argmax(p)), 3)
+            assert tuple(stone_at) == pol_at
+
+
+class TestRender:
+    def test_render_contains_stones(self):
+        g = Gomoku(5, 4)
+        g.step(0)
+        g.step(1)
+        text = g.render()
+        assert "X" in text and "O" in text

@@ -1,0 +1,95 @@
+"""Tests for the synthetic profiling game (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.games import SyntheticTreeGame
+
+
+class TestStructure:
+    def test_uniform_fanout(self):
+        g = SyntheticTreeGame(fanout=5, depth_limit=4)
+        assert g.action_size == 5
+        assert len(g.legal_actions()) == 5
+        g.step(2)
+        assert len(g.legal_actions()) == 5
+
+    def test_terminates_at_depth_limit(self):
+        g = SyntheticTreeGame(fanout=3, depth_limit=4)
+        for _ in range(4):
+            assert not g.is_terminal
+            g.step(0)
+        assert g.is_terminal
+        assert g.winner is not None
+
+    def test_step_after_terminal_rejected(self):
+        g = SyntheticTreeGame(fanout=2, depth_limit=1)
+        g.step(0)
+        with pytest.raises(ValueError):
+            g.step(0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SyntheticTreeGame(fanout=0)
+        with pytest.raises(ValueError):
+            SyntheticTreeGame(depth_limit=0)
+
+
+class TestDeterminism:
+    def test_same_path_same_outcome(self):
+        a = SyntheticTreeGame(fanout=3, depth_limit=5, seed=1)
+        b = SyntheticTreeGame(fanout=3, depth_limit=5, seed=1)
+        for move in [0, 2, 1, 2, 0]:
+            a.step(move)
+            b.step(move)
+        assert a.winner == b.winner
+
+    def test_different_paths_vary(self):
+        outcomes = set()
+        for first in range(4):
+            g = SyntheticTreeGame(fanout=4, depth_limit=5, seed=0)
+            g.step(first)
+            for _ in range(4):
+                g.step(0)
+            outcomes.add(g.winner)
+        assert len(outcomes) > 1  # outcome depends on the path
+
+    def test_seed_perturbs_outcomes(self):
+        wins = []
+        for seed in range(20):
+            g = SyntheticTreeGame(fanout=2, depth_limit=3, seed=seed)
+            for _ in range(3):
+                g.step(0)
+            wins.append(g.winner)
+        assert len(set(wins)) > 1
+
+    def test_encode_deterministic(self):
+        a = SyntheticTreeGame(fanout=2, depth_limit=4, board_size=4, seed=3)
+        b = SyntheticTreeGame(fanout=2, depth_limit=4, board_size=4, seed=3)
+        a.step(1)
+        b.step(1)
+        assert np.allclose(a.encode(), b.encode())
+
+    def test_copy_preserves_hash_state(self):
+        g = SyntheticTreeGame(fanout=2, depth_limit=4, seed=5)
+        g.step(1)
+        c = g.copy()
+        for m in (0, 1, 0):
+            g.step(m)
+            c.step(m)
+        assert g.winner == c.winner
+
+
+class TestOutcomeDistribution:
+    def test_roughly_balanced(self):
+        """~45/45/10 win/loss/draw split over many random paths."""
+        rng = np.random.default_rng(0)
+        results = {1: 0, -1: 0, 0: 0}
+        for seed in range(300):
+            g = SyntheticTreeGame(fanout=3, depth_limit=4, seed=seed)
+            while not g.is_terminal:
+                g.step(int(rng.integers(3)))
+            results[g.winner] += 1
+        assert results[1] > 80
+        assert results[-1] > 80
+        assert results[0] > 5

@@ -1,0 +1,111 @@
+"""Tests for the TicTacToe environment."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+
+
+class TestRules:
+    def test_row_win(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4, 2]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_column_win(self):
+        g = TicTacToe()
+        for a in [0, 1, 3, 2, 6]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_diagonal_win(self):
+        g = TicTacToe()
+        for a in [0, 1, 4, 2, 8]:
+            g.step(a)
+        assert g.winner == 1
+
+    def test_o_wins(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4, 8, 5]:
+            g.step(a)
+        assert g.winner == -1
+
+    def test_draw(self):
+        g = TicTacToe()
+        for a in [0, 4, 8, 1, 7, 6, 2, 5, 3]:
+            g.step(a)
+        assert g.is_terminal
+        assert g.winner == 0
+
+    def test_illegal_moves(self):
+        g = TicTacToe()
+        g.step(4)
+        with pytest.raises(ValueError):
+            g.step(4)
+        with pytest.raises(ValueError):
+            g.step(9)
+
+    def test_no_moves_after_terminal(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4, 2]:
+            g.step(a)
+        with pytest.raises(ValueError):
+            g.step(5)
+
+
+class TestInterface:
+    def test_shapes(self):
+        g = TicTacToe()
+        assert g.board_shape == (3, 3)
+        assert g.action_size == 9
+        assert g.encode().shape == (4, 3, 3)
+
+    def test_copy_independence(self):
+        g = TicTacToe()
+        g.step(0)
+        c = g.copy()
+        c.step(1)
+        assert g.cells[1] == 0
+
+    def test_terminal_value(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4, 2]:
+            g.step(a)
+        assert g.terminal_value == -1.0  # O to move after X won
+
+    def test_symmetry_orbit(self):
+        g = TicTacToe()
+        orbit = g.symmetries(g.encode(), np.full(9, 1 / 9))
+        assert len(orbit) == 8
+
+    def test_encoding_matches_gomoku_convention(self):
+        from repro.games import Gomoku
+
+        t = TicTacToe()
+        gm = Gomoku(3, 3)
+        for a in (4, 0, 8):
+            t.step(a)
+            gm.step(a)
+        assert np.allclose(t.encode(), gm.encode())
+
+
+class TestCrossImplementation:
+    """TicTacToe vs Gomoku(3,3): independent implementations, same game."""
+
+    def test_random_playthroughs_agree(self):
+        from repro.games import Gomoku
+
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            t = TicTacToe()
+            gm = Gomoku(3, 3)
+            while not t.is_terminal:
+                legal_t = t.legal_actions()
+                legal_g = gm.legal_actions()
+                assert np.array_equal(np.sort(legal_t), np.sort(legal_g))
+                a = int(rng.choice(legal_t))
+                t.step(a)
+                gm.step(a)
+            assert gm.is_terminal
+            assert t.winner == gm.winner

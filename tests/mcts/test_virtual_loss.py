@@ -1,0 +1,118 @@
+"""Tests for the two virtual-loss styles cited by the paper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcts.node import Node
+from repro.mcts.virtual_loss import (
+    ConstantVirtualLoss,
+    NoVirtualLoss,
+    WUVirtualLoss,
+)
+
+
+class TestNoVirtualLoss:
+    def test_identity(self):
+        vl = NoVirtualLoss()
+        n = Node()
+        n.visit_count, n.value_sum = 4, 2.0
+        vl.on_descend(n)
+        assert n.virtual_loss == 0.0
+        assert vl.effective_stats(n) == (4.0, 0.5)
+
+
+class TestConstantVirtualLoss:
+    def test_descend_deflates_q(self):
+        vl = ConstantVirtualLoss(weight=2.0)
+        n = Node()
+        n.visit_count, n.value_sum = 4, 4.0  # Q = 1.0
+        vl.on_descend(n)
+        n_eff, q_eff = vl.effective_stats(n)
+        assert n_eff == 6.0
+        assert q_eff == (4.0 - 2.0) / 6.0  # pretended losses
+
+    def test_backup_restores(self):
+        vl = ConstantVirtualLoss(weight=2.0)
+        n = Node()
+        n.visit_count, n.value_sum = 4, 4.0
+        vl.on_descend(n)
+        vl.on_backup(n)
+        assert vl.effective_stats(n) == (4.0, 1.0)
+
+    def test_unbalanced_backup_raises(self):
+        vl = ConstantVirtualLoss()
+        n = Node()
+        with pytest.raises(RuntimeError):
+            vl.on_backup(n)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            ConstantVirtualLoss(weight=0.0)
+
+    def test_unvisited_node_with_vl(self):
+        vl = ConstantVirtualLoss(weight=1.0)
+        n = Node()
+        vl.on_descend(n)
+        n_eff, q_eff = vl.effective_stats(n)
+        assert n_eff == 1.0
+        assert q_eff == -1.0  # pure pretended loss
+
+    @given(depth=st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_descends_balance(self, depth):
+        vl = ConstantVirtualLoss(weight=3.0)
+        n = Node()
+        n.visit_count, n.value_sum = 10, 5.0
+        for _ in range(depth):
+            vl.on_descend(n)
+        for _ in range(depth):
+            vl.on_backup(n)
+        assert n.virtual_loss == pytest.approx(0.0)
+
+
+class TestWUVirtualLoss:
+    def test_q_unaffected(self):
+        """The defining WU-UCT property: unobserved samples count toward
+        visit totals but never poison Q with fake losses."""
+        vl = WUVirtualLoss()
+        n = Node()
+        n.visit_count, n.value_sum = 4, 4.0
+        vl.on_descend(n)
+        n_eff, q_eff = vl.effective_stats(n)
+        assert n_eff == 5.0
+        assert q_eff == 1.0  # unchanged
+
+    def test_exploration_denominator_grows(self):
+        vl = WUVirtualLoss()
+        n = Node()
+        n.visit_count = 2
+        vl.on_descend(n)
+        vl.on_descend(n)
+        assert vl.effective_stats(n)[0] == 4.0
+
+    def test_backup_recovers(self):
+        vl = WUVirtualLoss()
+        n = Node()
+        vl.on_descend(n)
+        vl.on_backup(n)
+        assert n.virtual_loss == 0.0
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(RuntimeError):
+            WUVirtualLoss().on_backup(Node())
+
+
+class TestPolicyComparison:
+    def test_constant_repels_harder_than_wu(self):
+        """Constant VL must produce a lower effective Q than WU-UCT for the
+        same in-flight load (the paper's 'lower their weights' mechanism)."""
+        n1, n2 = Node(), Node()
+        for n in (n1, n2):
+            n.visit_count, n.value_sum = 5, 3.0
+        cvl, wu = ConstantVirtualLoss(weight=1.0), WUVirtualLoss()
+        cvl.on_descend(n1)
+        wu.on_descend(n2)
+        _, q_const = cvl.effective_stats(n1)
+        _, q_wu = wu.effective_stats(n2)
+        assert q_const < q_wu

@@ -1,0 +1,137 @@
+"""Tests for the vectorised primitives (im2col/col2im, softmax family)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    conv_out_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(15, 3, 1, 1) == 15
+
+    def test_stride(self):
+        assert conv_out_size(8, 2, 2, 0) == 4
+
+    def test_no_padding_shrinks(self):
+        assert conv_out_size(5, 3, 1, 0) == 3
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).random((2, 3, 5, 5))
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 25)
+
+    def test_identity_kernel_1x1(self):
+        x = np.random.default_rng(1).random((1, 2, 4, 4))
+        cols = im2col(x, 1, 1)
+        assert np.allclose(cols.reshape(1, 2, 4, 4), x)
+
+    def test_known_patch(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2)
+        # first output column = top-left 2x2 patch [0, 1, 4, 5]
+        assert np.allclose(cols[0, :, 0], [0, 1, 4, 5])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 5, 5)), 3, 3)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 3, 6, 6))
+        w = rng.random((4, 3, 3, 3))
+        cols = im2col(x, 3, 3, 1, 1)
+        out = np.einsum("fk,bkl->bfl", w.reshape(4, -1), cols).reshape(2, 4, 6, 6)
+        # naive reference
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((2, 4, 6, 6))
+        for b in range(2):
+            for f in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        ref[b, f, i, j] = np.sum(
+                            xp[b, :, i : i + 3, j : j + 3] * w[f]
+                        )
+        assert np.allclose(out, ref)
+
+    def test_stride_2(self):
+        x = np.random.default_rng(3).random((1, 1, 6, 6))
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (1, 4, 9)
+
+    @given(
+        b=st.integers(1, 3),
+        c=st.integers(1, 3),
+        hw=st.integers(3, 7),
+        k=st.integers(1, 3),
+        p=st.integers(0, 2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, b, c, hw, k, p):
+        """<im2col(x), y> == <x, col2im(y)> -- the defining adjoint identity
+        that guarantees the conv backward pass is exactly the transpose."""
+        rng = np.random.default_rng(42)
+        x = rng.random((b, c, hw, hw))
+        cols = im2col(x, k, k, 1, p)
+        y = rng.random(cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, k, k, 1, p)
+        rhs = float(np.sum(x * back))
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(4).random((5, 7)) * 10
+        s = softmax(x)
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    def test_stability_large_values(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        s = softmax(x)
+        assert np.all(np.isfinite(s))
+        assert s[0, 1] > s[0, 0]
+
+    def test_invariant_to_shift(self):
+        x = np.random.default_rng(5).random((3, 4))
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(6).random((3, 9))
+        assert np.allclose(np.exp(log_softmax(x)), softmax(x))
+
+    def test_log_softmax_stability(self):
+        x = np.array([[0.0, -1e5]])
+        ls = log_softmax(x)
+        assert np.all(np.isfinite(ls[0, 0:1]))
+
+    def test_axis_argument(self):
+        x = np.random.default_rng(7).random((4, 5))
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)

@@ -1,0 +1,123 @@
+"""Tests for the AlphaZero loss (Equation 2) and its components."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Parameter
+from repro.nn.losses import AlphaZeroLoss, cross_entropy_with_logits, mse
+from tests.conftest import assert_grad_close, numerical_gradient
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = np.array([1.0, -0.5])
+        loss, grad = mse(x, x.copy())
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_known_value(self):
+        loss, _ = mse(np.array([2.0, 0.0]), np.array([0.0, 0.0]))
+        assert np.isclose(loss, 2.0)  # (4 + 0) / 2
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        pred = rng.random(6)
+        target = rng.random(6)
+
+        def f():
+            return mse(pred, target)[0]
+
+        _, grad = mse(pred, target)
+        assert_grad_close(grad, numerical_gradient(f, pred))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[1.0, 2.0, 0.5]])
+        pi = np.array([[0.2, 0.5, 0.3]])
+        loss, _ = cross_entropy_with_logits(logits, pi)
+        p = softmax(logits)
+        assert np.isclose(loss, -np.sum(pi * np.log(p)))
+
+    def test_gradient_is_softmax_minus_target(self):
+        rng = np.random.default_rng(1)
+        logits = rng.random((4, 5))
+        pi = rng.dirichlet(np.ones(5), size=4)
+        _, grad = cross_entropy_with_logits(logits, pi)
+        assert np.allclose(grad, (softmax(logits) - pi) / 4)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        logits = rng.random((2, 4))
+        pi = rng.dirichlet(np.ones(4), size=2)
+
+        def f():
+            return cross_entropy_with_logits(logits, pi)[0]
+
+        _, grad = cross_entropy_with_logits(logits, pi)
+        assert_grad_close(grad, numerical_gradient(f, logits), tol=1e-4)
+
+    def test_minimised_when_softmax_equals_target(self):
+        pi = np.array([[0.7, 0.2, 0.1]])
+        logits = np.log(pi)
+        loss_at_match, _ = cross_entropy_with_logits(logits, pi)
+        loss_off, _ = cross_entropy_with_logits(logits + [[1.0, 0, 0]], pi)
+        assert loss_at_match < loss_off
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            cross_entropy_with_logits(np.zeros((1, 3)), np.array([[0.5, 0.5, 0.5]]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy_with_logits(np.zeros((1, 3)), np.full((1, 4), 0.25))
+
+
+class TestAlphaZeroLoss:
+    def _setup(self, seed=0, n=3, a=4):
+        rng = np.random.default_rng(seed)
+        logits = rng.random((n, a))
+        value = rng.uniform(-1, 1, n)
+        pi = rng.dirichlet(np.ones(a), size=n)
+        z = rng.uniform(-1, 1, n)
+        return logits, value, pi, z
+
+    def test_decomposition(self):
+        logits, value, pi, z = self._setup()
+        loss = AlphaZeroLoss(l2=0.0)(logits, value, pi, z)
+        v, _ = mse(value, z)
+        p, _ = cross_entropy_with_logits(logits, pi)
+        assert np.isclose(loss.total, v + p)
+        assert loss.l2_loss == 0.0
+
+    def test_l2_term_and_param_grad(self):
+        logits, value, pi, z = self._setup(1)
+        p = Parameter(np.full(4, 2.0))
+        loss = AlphaZeroLoss(l2=0.01)(logits, value, pi, z, [p])
+        assert np.isclose(loss.l2_loss, 0.01 * 4 * 4.0)
+        assert np.allclose(p.grad, 2 * 0.01 * 2.0)
+
+    def test_gradients_feed_backward(self):
+        logits, value, pi, z = self._setup(2)
+        loss = AlphaZeroLoss(l2=0.0)(logits, value, pi, z)
+        assert loss.grad_logits.shape == logits.shape
+        assert loss.grad_value.shape == value.shape
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaZeroLoss(l2=-1.0)
+
+    def test_perfect_prediction_minimises(self):
+        a = 4
+        pi = np.array([[0.1, 0.2, 0.3, 0.4]])
+        logits_match = np.log(pi)
+        z = np.array([0.5])
+        loss_fn = AlphaZeroLoss(l2=0.0)
+        perfect = loss_fn(logits_match, z.copy(), pi, z)
+        worse = loss_fn(logits_match + [[2, 0, 0, 0]], z - 0.5, pi, z)
+        assert perfect.total < worse.total

@@ -1,0 +1,115 @@
+"""Tests for optimisers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, StepLR
+
+
+def quadratic_param(start=5.0):
+    """Single parameter minimising f(x) = x^2 (grad = 2x)."""
+    return Parameter(np.array([start]))
+
+
+def step_quadratic(opt, p, n):
+    for _ in range(n):
+        p.zero_grad()
+        p.grad += 2.0 * p.data
+        opt.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        step_quadratic(opt, p, 100)
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = SGD([p1], lr=0.01)
+        mom = SGD([p2], lr=0.01, momentum=0.9)
+        step_quadratic(plain, p1, 20)
+        step_quadratic(mom, p2, 20)
+        assert abs(p2.data[0]) < abs(p1.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.zero_grad()  # zero task gradient; only decay acts
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_single_step_formula(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad += 2.0
+        opt.step()
+        assert np.isclose(p.data[0], 0.0)
+
+    def test_invalid_args(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        step_quadratic(opt, p, 200)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_first_step_magnitude(self):
+        # with bias correction, the first Adam step is ~lr in magnitude
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad += 3.0
+        opt.step()
+        assert np.isclose(1.0 - p.data[0], 0.1, atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.9))
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR().factor(1000) == 1.0
+
+    def test_step_lr(self):
+        s = StepLR(step_size=10, gamma=0.5)
+        assert s.factor(0) == 1.0
+        assert s.factor(10) == 0.5
+        assert s.factor(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        s = CosineLR(total_steps=100, floor=0.1)
+        assert np.isclose(s.factor(0), 1.0)
+        assert np.isclose(s.factor(100), 0.1)
+        assert np.isclose(s.factor(1000), 0.1)  # clamps past the horizon
+
+    def test_cosine_monotone(self):
+        s = CosineLR(total_steps=50)
+        vals = [s.factor(i) for i in range(51)]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_schedule_applied_by_optimizer(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0, schedule=StepLR(1, 0.5))
+        assert opt.lr == 1.0
+        opt.step()
+        assert opt.lr == 0.5
+
+    def test_invalid_schedule_args(self):
+        with pytest.raises(ValueError):
+            StepLR(0)
+        with pytest.raises(ValueError):
+            CosineLR(0)
+        with pytest.raises(ValueError):
+            CosineLR(10, floor=2.0)

@@ -1,0 +1,126 @@
+"""Tests for the residual policy/value network variant."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import softmax
+from repro.nn.losses import AlphaZeroLoss
+from repro.nn.optim import Adam
+from repro.nn.resnet import ResidualBlock, ResNetPolicyValueNet
+from tests.conftest import assert_grad_close
+
+
+class TestResidualBlock:
+    def test_shape_preserving(self):
+        block = ResidualBlock(8, rng=0)
+        x = np.random.default_rng(0).random((2, 8, 5, 5))
+        assert block.forward(x).shape == x.shape
+
+    def test_identity_at_zero_weights(self):
+        """With zeroed conv weights the block is ReLU(BN-const + x)."""
+        block = ResidualBlock(4, rng=1)
+        for conv in (block.conv1, block.conv2):
+            conv.weight.data[...] = 0.0
+        block.eval()
+        x = np.abs(np.random.default_rng(1).random((1, 4, 3, 3)))
+        out = block.forward(x)
+        assert np.allclose(out, x, atol=1e-6)
+
+    def test_gradient_through_skip(self):
+        """Numerical gradcheck of the residual block end to end."""
+        block = ResidualBlock(2, rng=2)
+        block.eval()  # freeze BN statistics for a clean check
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 2, 3, 3))
+        proj = rng.random((2, 2, 3, 3))
+
+        def scalar():
+            return float(np.sum(block.forward(x) * proj))
+
+        block.forward(x)
+        analytic = block.backward(proj)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = x[idx]
+            x[idx] = orig + eps
+            fp = scalar()
+            x[idx] = orig - eps
+            fm = scalar()
+            x[idx] = orig
+            numeric[idx] = (fp - fm) / (2 * eps)
+            it.iternext()
+        assert_grad_close(analytic, numeric, tol=1e-4)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            ResidualBlock(0)
+
+
+class TestResNetPolicyValueNet:
+    def test_output_contract(self):
+        net = ResNetPolicyValueNet(5, num_blocks=2, channels=8, rng=0)
+        out = net.predict(np.random.default_rng(0).random((3, 4, 5, 5)))
+        assert out.policy.shape == (3, 25)
+        assert np.allclose(out.policy.sum(axis=-1), 1.0)
+        assert np.all(np.abs(out.value) <= 1.0)
+
+    def test_parameter_discovery_includes_blocks(self):
+        net = ResNetPolicyValueNet(4, num_blocks=3, channels=8, rng=1)
+        # stem(1 conv + bn) + 3 blocks x (2 conv + 2 bn) + heads
+        n_params = len(net.parameters())
+        assert n_params > 3 * 4  # all block parameters discovered
+        deeper = ResNetPolicyValueNet(4, num_blocks=5, channels=8, rng=1)
+        assert len(deeper.parameters()) > n_params
+
+    def test_trains_on_fixed_batch(self):
+        rng = np.random.default_rng(3)
+        net = ResNetPolicyValueNet(3, num_blocks=1, channels=8, rng=4)
+        x = rng.random((8, 4, 3, 3))
+        pi = rng.dirichlet(np.ones(9), size=8)
+        z = rng.uniform(-1, 1, 8)
+        loss_fn = AlphaZeroLoss(l2=0.0)
+        opt = Adam(net.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(60):
+            net.zero_grad()
+            out = net.forward(x)
+            loss = loss_fn(out.logits, out.value, pi, z)
+            net.backward(loss.grad_logits, loss.grad_value)
+            opt.step()
+            losses.append(loss.total)
+        assert losses[-1] < losses[0] - 0.2
+
+    def test_mcts_integration(self):
+        from repro.games import TicTacToe
+        from repro.mcts import NetworkEvaluator, SerialMCTS
+
+        net = ResNetPolicyValueNet(3, num_blocks=1, channels=8, rng=5)
+        net.eval()
+        engine = SerialMCTS(NetworkEvaluator(net), rng=6)
+        prior = engine.get_action_prior(TicTacToe(), 40)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        a = ResNetPolicyValueNet(3, num_blocks=1, channels=4, rng=7)
+        b = ResNetPolicyValueNet(3, num_blocks=1, channels=4, rng=8)
+        a.eval()
+        b.eval()
+        path = str(tmp_path / "resnet.npz")
+        a.save(path)
+        b.load(path)
+        x = np.random.default_rng(4).random((1, 4, 3, 3))
+        assert np.allclose(a.predict(x).logits, b.predict(x).logits)
+
+    def test_non_square_with_custom_actions(self):
+        net = ResNetPolicyValueNet((6, 7), num_blocks=1, channels=8, action_size=7, rng=9)
+        out = net.predict(np.zeros((1, 4, 6, 7)))
+        assert out.policy.shape == (1, 7)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ResNetPolicyValueNet(0)
+        with pytest.raises(ValueError):
+            ResNetPolicyValueNet(5, num_blocks=0)

@@ -1,0 +1,100 @@
+"""Tests for the leaf-parallel and root-parallel baselines (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.evaluation import RandomRolloutEvaluator, UniformEvaluator
+from repro.parallel import LeafParallelMCTS, RootParallelMCTS
+from repro.parallel.base import SchemeName
+
+
+class TestLeafParallel:
+    def test_playout_budget(self):
+        with LeafParallelMCTS(UniformEvaluator(), num_workers=4, rng=0) as s:
+            root = s.search(TicTacToe(), 60)
+        assert root.visit_count == 60
+
+    def test_name(self):
+        assert LeafParallelMCTS(UniformEvaluator()).name == SchemeName.LEAF_PARALLEL
+
+    def test_finds_win(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4]:
+            g.step(a)
+        with LeafParallelMCTS(RandomRolloutEvaluator(rng=0), num_workers=4, c_puct=1.5, rng=1) as s:
+            prior = s.get_action_prior(g, 150)
+        assert int(np.argmax(prior)) == 2
+
+    def test_averaging_reduces_variance_vs_serial(self):
+        """Leaf-parallel's only benefit: lower-variance leaf values."""
+        g = TicTacToe()
+        values = []
+        for seed in range(10):
+            with LeafParallelMCTS(
+                RandomRolloutEvaluator(rng=seed), num_workers=8, rng=seed
+            ) as s:
+                root = s.search(g, 40)
+                values.append(root.children[4].q)
+        serial_values = []
+        from repro.mcts.serial import SerialMCTS
+
+        for seed in range(10):
+            engine = SerialMCTS(RandomRolloutEvaluator(rng=seed), rng=seed)
+            root = engine.search(g, 40)
+            serial_values.append(root.children[4].q)
+        # not a strict guarantee per-seed, but the spread should not blow up
+        assert np.std(values) <= np.std(serial_values) * 1.5
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            LeafParallelMCTS(UniformEvaluator(), num_workers=0)
+
+
+class TestRootParallel:
+    def test_total_budget_split(self):
+        with RootParallelMCTS(UniformEvaluator(), num_workers=4, rng=0) as s:
+            root = s.search(TicTacToe(), 101)
+        # merged root visits = sum of ensemble totals
+        assert root.visit_count == 101
+
+    def test_independent_trees_kept(self):
+        with RootParallelMCTS(UniformEvaluator(), num_workers=3, rng=1) as s:
+            s.search(TicTacToe(), 90)
+            assert len(s.last_roots) == 3
+            for r in s.last_roots:
+                assert r.visit_count == 30
+
+    def test_more_workers_than_playouts(self):
+        with RootParallelMCTS(UniformEvaluator(), num_workers=8, rng=2) as s:
+            root = s.search(TicTacToe(), 3)
+        assert root.visit_count == 3
+        assert len(s.last_roots) == 3  # empty budgets dropped
+
+    def test_prior_distribution(self):
+        with RootParallelMCTS(UniformEvaluator(), num_workers=4, rng=3) as s:
+            prior = s.get_action_prior(TicTacToe(), 100)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_finds_win(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4]:
+            g.step(a)
+        with RootParallelMCTS(
+            RandomRolloutEvaluator(rng=0), num_workers=4, c_puct=1.5, rng=4
+        ) as s:
+            prior = s.get_action_prior(g, 400)
+        assert int(np.argmax(prior)) == 2
+
+    def test_merge_accumulates_stats(self):
+        from repro.mcts.node import Node
+
+        r1, r2 = Node(), Node()
+        for r, visits in ((r1, 5), (r2, 7)):
+            c = r.add_child(0, 1.0)
+            c.visit_count = visits
+            c.value_sum = visits * 0.5
+            r.visit_count = visits
+        merged = RootParallelMCTS._merge_roots([r1, r2])
+        assert merged.children[0].visit_count == 12
+        assert merged.children[0].value_sum == 6.0

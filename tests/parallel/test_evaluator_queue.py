@@ -1,0 +1,104 @@
+"""Tests for the accelerator queue and batching evaluator (Section 3.3)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe, build_network_for
+from repro.mcts.evaluation import NetworkEvaluator, UniformEvaluator
+from repro.parallel import BatchingEvaluator, SharedTreeMCTS
+from repro.parallel.evaluator import AcceleratorQueue
+
+
+class TestAcceleratorQueue:
+    def test_flush_at_threshold(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=3)
+        futures = [q.submit(TicTacToe()) for _ in range(3)]
+        # third submit triggers the flush inline
+        assert all(f.done() for f in futures)
+        assert q.batches_flushed == 1
+        assert q.requests_served == 3
+
+    def test_partial_batch_waits(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=4)
+        fut = q.submit(TicTacToe())
+        assert not fut.done()
+        assert q.pending_count == 1
+
+    def test_manual_flush(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=4)
+        fut = q.submit(TicTacToe())
+        flushed = q.flush()
+        assert flushed == 1
+        assert fut.done()
+
+    def test_evaluate_blocking_linger_flush(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=8, linger=0.01)
+        ev = q.evaluate_blocking(TicTacToe())
+        assert np.isclose(ev.priors.sum(), 1.0)
+
+    def test_results_match_request_order(self):
+        g1, g2 = TicTacToe(), TicTacToe()
+        g2.step(0)
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=2)
+        f1 = q.submit(g1)
+        f2 = q.submit(g2)
+        assert f1.result().priors[0] > 0  # g1: cell 0 legal
+        assert f2.result().priors[0] == 0  # g2: cell 0 taken
+
+    def test_exception_propagates_to_all(self):
+        class Broken(UniformEvaluator):
+            def evaluate_batch(self, games):
+                raise RuntimeError("device lost")
+
+        q = AcceleratorQueue(Broken(), batch_size=2)
+        f1 = q.submit(TicTacToe())
+        f2 = q.submit(TicTacToe())
+        for f in (f1, f2):
+            with pytest.raises(RuntimeError, match="device lost"):
+                f.result()
+
+    def test_concurrent_producers(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=4, linger=0.01)
+        results = []
+        lock = threading.Lock()
+
+        def producer():
+            ev = q.evaluate_blocking(TicTacToe())
+            with lock:
+                results.append(ev)
+
+        threads = [threading.Thread(target=producer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert q.requests_served == 8
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            AcceleratorQueue(UniformEvaluator(), batch_size=0)
+        with pytest.raises(ValueError):
+            AcceleratorQueue(UniformEvaluator(), batch_size=1, linger=0.0)
+
+
+class TestBatchingEvaluator:
+    def test_through_shared_tree(self):
+        """The paper's shared-tree + GPU configuration: N workers, full
+        -batched inference through the accelerator queue."""
+        net = build_network_for(TicTacToe(), channels=(2, 4, 4), rng=0)
+        bev = BatchingEvaluator(NetworkEvaluator(net), batch_size=4, linger=0.01)
+        with SharedTreeMCTS(bev, num_workers=4, rng=0) as scheme:
+            prior = scheme.get_action_prior(TicTacToe(), 60)
+        assert np.isclose(prior.sum(), 1.0)
+        assert bev.queue.requests_served >= 59  # root eval bypasses the queue
+        # batching actually happened (not all singleton flushes)
+        assert bev.queue.batches_flushed < bev.queue.requests_served
+
+    def test_evaluate_batch_bypasses_queue(self):
+        bev = BatchingEvaluator(UniformEvaluator(), batch_size=8)
+        evs = bev.evaluate_batch([TicTacToe(), TicTacToe()])
+        assert len(evs) == 2
+        assert bev.queue.pending_count == 0

@@ -1,0 +1,101 @@
+"""Tests for the real-thread local-tree scheme (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe, build_network_for
+from repro.mcts.evaluation import NetworkEvaluator, RandomRolloutEvaluator, UniformEvaluator
+from repro.parallel import LocalTreeMCTS
+from repro.parallel.base import SchemeName
+
+
+class TestBasics:
+    def test_playout_budget_respected(self):
+        with LocalTreeMCTS(UniformEvaluator(), num_workers=4, rng=0) as scheme:
+            root = scheme.search(TicTacToe(), 120)
+        assert root.visit_count == 120
+
+    def test_prior_is_distribution(self):
+        with LocalTreeMCTS(UniformEvaluator(), num_workers=4, rng=1) as scheme:
+            prior = scheme.get_action_prior(TicTacToe(), 80)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_scheme_name(self):
+        assert LocalTreeMCTS(UniformEvaluator()).name == SchemeName.LOCAL_TREE
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            LocalTreeMCTS(UniformEvaluator(), num_workers=4, batch_size=5)
+        with pytest.raises(ValueError):
+            LocalTreeMCTS(UniformEvaluator(), num_workers=4, batch_size=0)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 4])
+    def test_all_batch_sizes_complete(self, batch_size):
+        with LocalTreeMCTS(
+            UniformEvaluator(), num_workers=4, batch_size=batch_size, rng=2
+        ) as scheme:
+            root = scheme.search(TicTacToe(), 100)
+        assert root.visit_count == 100
+
+    def test_no_virtual_loss_residue(self):
+        with LocalTreeMCTS(UniformEvaluator(), num_workers=8, rng=3) as scheme:
+            root = scheme.search(TicTacToe(), 200)
+        for node in root.iter_subtree():
+            assert node.virtual_loss == pytest.approx(0.0)
+
+    def test_small_playout_count_with_many_workers(self):
+        """Fewer playouts than workers: the tail-flush path must not hang."""
+        with LocalTreeMCTS(UniformEvaluator(), num_workers=16, batch_size=8, rng=4) as s:
+            root = s.search(TicTacToe(), 5)
+        assert root.visit_count == 5
+
+
+class TestBatchedInference:
+    def test_network_evaluator_batched(self):
+        net = build_network_for(TicTacToe(), channels=(2, 4, 4), rng=0)
+        with LocalTreeMCTS(
+            NetworkEvaluator(net), num_workers=8, batch_size=4, rng=5
+        ) as scheme:
+            prior = scheme.get_action_prior(TicTacToe(), 60)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_batched_matches_unbatched_visit_total(self):
+        for b in (1, 4):
+            with LocalTreeMCTS(
+                UniformEvaluator(), num_workers=4, batch_size=b, rng=6
+            ) as scheme:
+                root = scheme.search(TicTacToe(), 80)
+            assert root.visit_count == 80
+
+
+class TestTacticalStrength:
+    def test_finds_winning_move(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4]:
+            g.step(a)
+        with LocalTreeMCTS(
+            RandomRolloutEvaluator(rng=0), num_workers=4, c_puct=1.5, rng=7
+        ) as scheme:
+            prior = scheme.get_action_prior(g, 400)
+        assert int(np.argmax(prior)) == 2
+
+    def test_blocks_loss(self):
+        g = TicTacToe()
+        for a in [0, 4, 1]:
+            g.step(a)
+        with LocalTreeMCTS(
+            RandomRolloutEvaluator(rng=1), num_workers=4, c_puct=1.5, rng=8
+        ) as scheme:
+            prior = scheme.get_action_prior(g, 800)
+        assert int(np.argmax(prior)) == 2
+
+
+class TestMasterThreadOwnership:
+    def test_tree_consistent_after_search(self):
+        with LocalTreeMCTS(UniformEvaluator(), num_workers=8, batch_size=4, rng=9) as s:
+            root = s.search(TicTacToe(), 300)
+        for node in root.iter_subtree():
+            if node.children:
+                child_sum = sum(c.visit_count for c in node.children.values())
+                assert node.visit_count >= child_sum
+            assert -1.0 - 1e-9 <= node.q <= 1.0 + 1e-9

@@ -1,0 +1,52 @@
+"""Tests for the lock-free shared-tree variant [Mirsoleimani 2018]."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.evaluation import RandomRolloutEvaluator, UniformEvaluator
+from repro.parallel import LockFreeSharedTreeMCTS
+
+
+class TestLockFree:
+    def test_prior_is_distribution(self):
+        with LockFreeSharedTreeMCTS(UniformEvaluator(), num_workers=8, rng=0) as s:
+            prior = s.get_action_prior(TicTacToe(), 200)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_visit_total_near_budget(self):
+        """Racy increments may lose a handful of counts, never gain."""
+        with LockFreeSharedTreeMCTS(UniformEvaluator(), num_workers=8, rng=1) as s:
+            root = s.search(TicTacToe(), 300)
+        assert 0.95 * 300 <= root.visit_count <= 300
+
+    def test_finds_winning_move(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4]:
+            g.step(a)
+        with LockFreeSharedTreeMCTS(
+            RandomRolloutEvaluator(rng=0), num_workers=4, c_puct=1.5, rng=2
+        ) as s:
+            prior = s.get_action_prior(g, 400)
+        assert int(np.argmax(prior)) == 2
+
+    def test_no_crash_under_heavy_contention(self):
+        with LockFreeSharedTreeMCTS(UniformEvaluator(), num_workers=16, rng=3) as s:
+            root = s.search(TicTacToe(), 500)
+        # tree must stay structurally sound: q bounded, counts positive
+        for node in root.iter_subtree():
+            assert node.visit_count >= 0
+            assert -1.5 <= node.q <= 1.5  # racy sums get slack
+
+    def test_default_vl_policy_non_strict(self):
+        s = LockFreeSharedTreeMCTS(UniformEvaluator())
+        assert s.vl_policy.strict is False
+
+    def test_race_counter_observable(self):
+        with LockFreeSharedTreeMCTS(UniformEvaluator(), num_workers=8, rng=4) as s:
+            s.search(TicTacToe(), 200)
+        assert s.expansion_races >= 0  # counted, not raised
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LockFreeSharedTreeMCTS(UniformEvaluator(), num_workers=0)

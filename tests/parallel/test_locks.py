@@ -1,0 +1,33 @@
+"""Tests for the striped lock table."""
+
+import pytest
+
+from repro.mcts.node import Node
+from repro.parallel.locks import StripedLockTable
+
+
+class TestStripedLockTable:
+    def test_same_node_same_lock(self):
+        table = StripedLockTable(64)
+        n = Node()
+        assert table.lock_for(n) is table.lock_for(n)
+
+    def test_locks_spread_across_stripes(self):
+        table = StripedLockTable(256)
+        nodes = [Node() for _ in range(200)]
+        distinct = {id(table.lock_for(n)) for n in nodes}
+        assert len(distinct) > 50  # good dispersion, not all one stripe
+
+    def test_lock_is_usable(self):
+        table = StripedLockTable(4)
+        n = Node()
+        lock = table.lock_for(n)
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_invalid_stripes(self):
+        with pytest.raises(ValueError):
+            StripedLockTable(0)
+
+    def test_len(self):
+        assert len(StripedLockTable(16)) == 16

@@ -1,0 +1,131 @@
+"""Tests for the real-thread shared-tree scheme (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.games import ConnectFour, TicTacToe
+from repro.mcts.evaluation import RandomRolloutEvaluator, UniformEvaluator
+from repro.mcts.virtual_loss import WUVirtualLoss
+from repro.parallel import SharedTreeMCTS
+from repro.parallel.base import SchemeName
+
+
+class TestBasics:
+    def test_playout_budget_respected(self):
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=4, rng=0) as scheme:
+            root = scheme.search(TicTacToe(), 120)
+        assert root.visit_count == 120
+
+    def test_prior_is_distribution(self):
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=4, rng=1) as scheme:
+            prior = scheme.get_action_prior(TicTacToe(), 80)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_scheme_name(self):
+        assert SharedTreeMCTS(UniformEvaluator()).name == SchemeName.SHARED_TREE
+
+    def test_input_game_not_mutated(self):
+        g = TicTacToe()
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=4, rng=2) as scheme:
+            scheme.search(g, 60)
+        assert g.cells.sum() == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SharedTreeMCTS(UniformEvaluator(), num_workers=0)
+        with pytest.raises(ValueError):
+            SharedTreeMCTS(UniformEvaluator(), c_puct=0.0)
+        scheme = SharedTreeMCTS(UniformEvaluator())
+        with pytest.raises(ValueError):
+            scheme.search(TicTacToe(), 0)
+
+    def test_single_worker_degenerates_gracefully(self):
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=1, rng=3) as scheme:
+            root = scheme.search(TicTacToe(), 50)
+        assert root.visit_count == 50
+
+
+class TestConcurrencyInvariants:
+    def test_no_virtual_loss_residue(self):
+        """Every descend must be matched by a backup, across all workers."""
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=8, rng=4) as scheme:
+            root = scheme.search(TicTacToe(), 200)
+        for node in root.iter_subtree():
+            assert node.virtual_loss == pytest.approx(0.0)
+
+    def test_visit_conservation(self):
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=8, rng=5) as scheme:
+            root = scheme.search(TicTacToe(), 300)
+        for node in root.iter_subtree():
+            if node.children:
+                child_sum = sum(c.visit_count for c in node.children.values())
+                # parent counts its own evaluation visit(s) too
+                assert node.visit_count >= child_sum
+
+    def test_wu_uct_policy_works(self):
+        with SharedTreeMCTS(
+            UniformEvaluator(), num_workers=4, vl_policy=WUVirtualLoss(), rng=6
+        ) as scheme:
+            root = scheme.search(TicTacToe(), 150)
+        assert root.visit_count == 150
+        for node in root.iter_subtree():
+            assert node.virtual_loss == pytest.approx(0.0)
+
+    def test_worker_exception_propagates(self):
+        class Boom(UniformEvaluator):
+            def evaluate(self, game):
+                if game.move_count if hasattr(game, "move_count") else 0:
+                    raise RuntimeError("boom")
+                return super().evaluate(game)
+
+        class AlwaysBoom(UniformEvaluator):
+            calls = 0
+
+            def evaluate(self, game):
+                AlwaysBoom.calls += 1
+                if AlwaysBoom.calls > 1:  # let the root warm-up succeed
+                    raise RuntimeError("boom")
+                return super().evaluate(game)
+
+        with SharedTreeMCTS(AlwaysBoom(), num_workers=2, rng=7) as scheme:
+            with pytest.raises(RuntimeError, match="boom"):
+                scheme.search(TicTacToe(), 20)
+
+
+class TestTacticalStrength:
+    def test_finds_winning_move_under_parallelism(self):
+        g = TicTacToe()
+        for a in [0, 3, 1, 4]:
+            g.step(a)
+        with SharedTreeMCTS(
+            RandomRolloutEvaluator(rng=0), num_workers=4, c_puct=1.5, rng=8
+        ) as scheme:
+            prior = scheme.get_action_prior(g, 400)
+        assert int(np.argmax(prior)) == 2
+
+    def test_connect4_block(self):
+        g = ConnectFour()
+        for a in [3, 0, 3, 1, 3]:  # X threatens column 3; O must block
+            g.step(a)
+        with SharedTreeMCTS(
+            RandomRolloutEvaluator(rng=1), num_workers=4, c_puct=1.5, rng=9
+        ) as scheme:
+            prior = scheme.get_action_prior(g, 500)
+        assert int(np.argmax(prior)) == 3
+
+
+class TestAgainstSerial:
+    def test_similar_distribution_to_serial(self):
+        """Parallel search explores differently (obsolete information), but
+        on a simple position the visit distribution should broadly agree
+        with serial search -- the paper's Section 5.5 claim."""
+        from repro.mcts.serial import SerialMCTS
+
+        serial = SerialMCTS(UniformEvaluator(), rng=10).get_action_prior(
+            TicTacToe(), 400
+        )
+        with SharedTreeMCTS(UniformEvaluator(), num_workers=4, rng=11) as scheme:
+            parallel = scheme.get_action_prior(TicTacToe(), 400)
+        # total variation distance should be modest
+        tv = 0.5 * np.abs(serial - parallel).sum()
+        assert tv < 0.25

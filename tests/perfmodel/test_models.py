@@ -1,0 +1,156 @@
+"""Tests for the Equation 3-6 performance models."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.models import (
+    PerformanceModel,
+    ProfiledLatencies,
+    local_tree_cpu_latency,
+    local_tree_gpu_latency,
+    shared_tree_cpu_latency,
+    shared_tree_gpu_latency,
+)
+from repro.simulator.hardware import GPUSpec
+
+
+@pytest.fixture
+def profile():
+    return ProfiledLatencies(
+        t_select_shared=90e-6,
+        t_backup_shared=8e-6,
+        t_select_local=16e-6,
+        t_backup_local=2e-6,
+        t_dnn_cpu=800e-6,
+        t_access=2.6e-6,
+    )
+
+
+@pytest.fixture
+def gpu():
+    return GPUSpec()
+
+
+class TestEquation3:
+    def test_formula(self, profile):
+        n = 8
+        expected = (
+            profile.t_access * n
+            + profile.in_tree_shared
+            + profile.t_dnn_cpu
+        ) / n
+        assert shared_tree_cpu_latency(profile, n) == pytest.approx(expected)
+
+    def test_access_term_floors_scaling(self, profile):
+        """As N grows, per-iteration latency approaches T_access, never 0."""
+        lat = shared_tree_cpu_latency(profile, 100_000)
+        assert lat == pytest.approx(profile.t_access, rel=0.01)
+
+    def test_invalid_workers(self, profile):
+        with pytest.raises(ValueError):
+            shared_tree_cpu_latency(profile, 0)
+
+
+class TestEquation5:
+    def test_dnn_bound_at_small_n(self, profile):
+        assert local_tree_cpu_latency(profile, 2) == pytest.approx(
+            profile.t_dnn_cpu / 2
+        )
+
+    def test_master_bound_at_large_n(self, profile):
+        assert local_tree_cpu_latency(profile, 1000) == pytest.approx(
+            profile.in_tree_local
+        )
+
+    def test_max_semantics(self, profile):
+        crossover_n = profile.t_dnn_cpu / profile.in_tree_local
+        below = local_tree_cpu_latency(profile, int(crossover_n // 2))
+        above = local_tree_cpu_latency(profile, int(crossover_n * 2))
+        assert below > profile.in_tree_local
+        assert above == pytest.approx(profile.in_tree_local)
+
+
+class TestEquation4:
+    def test_batched_inference_amortises(self, profile, gpu):
+        """Equation 4 with growing N amortises the kernel base."""
+        l8 = shared_tree_gpu_latency(profile, 8, gpu)
+        l64 = shared_tree_gpu_latency(profile, 64, gpu)
+        assert l64 < l8
+
+    def test_gpu_beats_cpu_at_scale(self, profile, gpu):
+        assert shared_tree_gpu_latency(profile, 32, gpu) < shared_tree_cpu_latency(
+            profile, 32
+        )
+
+
+class TestEquation6:
+    def test_v_sequence_property(self, profile, gpu):
+        """The batch-latency sequence must be (approximately) a V: it never
+        rises then falls again by more than the kink tolerance."""
+        model = PerformanceModel(profile, gpu)
+        for n in (16, 32, 64):
+            seq = model.batch_latency_sequence(n)
+            min_idx = int(np.argmin(seq))
+            # non-increasing up to the min, non-decreasing after (allow the
+            # single overlap-kink discontinuity at N/2)
+            descending = seq[: min_idx + 1]
+            assert all(a >= b - 1e-12 for a, b in zip(descending, descending[1:]))
+
+    def test_batch_one_dominated_by_launches(self, profile, gpu):
+        lat = local_tree_gpu_latency(profile, 16, gpu, 1)
+        assert lat > gpu.launch_latency  # every sample pays a launch
+
+    def test_overlap_kink_at_half(self, profile, gpu):
+        """Crossing B = N/2 loses overlap and must not get cheaper."""
+        n = 32
+        just_below = local_tree_gpu_latency(profile, n, gpu, n // 2)
+        just_above = local_tree_gpu_latency(profile, n, gpu, n // 2 + 1)
+        assert just_above >= just_below
+
+    def test_invalid_batch(self, profile, gpu):
+        with pytest.raises(ValueError):
+            local_tree_gpu_latency(profile, 8, gpu, 0)
+        with pytest.raises(ValueError):
+            local_tree_gpu_latency(profile, 8, gpu, 9)
+
+
+class TestProfiledLatencies:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ProfiledLatencies(
+                t_select_shared=-1,
+                t_backup_shared=0,
+                t_select_local=0,
+                t_backup_local=0,
+                t_dnn_cpu=0,
+                t_access=0,
+            )
+
+    def test_in_tree_totals(self, profile):
+        assert profile.in_tree_shared == pytest.approx(98e-6)
+        assert profile.in_tree_local == pytest.approx(18e-6)
+
+
+class TestModelMirrorsPaperFigures:
+    """The analytic models alone must reproduce the qualitative figure
+    claims (the DES benchmarks check the executed versions)."""
+
+    def test_fig4_crossover_exists(self, profile):
+        model = PerformanceModel(profile)
+        winners = {
+            n: "shared" if model.shared_cpu(n) < model.local_cpu(n) else "local"
+            for n in (1, 4, 16, 64)
+        }
+        assert winners[4] == "local"
+        assert winners[64] == "shared"
+
+    def test_fig5_local_bstar_wins_at_large_n(self, profile, gpu):
+        model = PerformanceModel(profile, gpu)
+        for n in (32, 64):
+            best_local = min(model.batch_latency_sequence(n))
+            assert best_local < model.shared_gpu(n)
+
+    def test_fig3_optimum_matches_paper_at_16(self, profile, gpu):
+        model = PerformanceModel(profile, gpu)
+        seq = model.batch_latency_sequence(16)
+        assert int(np.argmin(seq)) + 1 == 8  # the paper's B*=8 at N=16

@@ -1,0 +1,84 @@
+"""Tests for Algorithm 4 (V-sequence minimum search)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.vsearch import find_v_minimum
+
+
+def from_list(values):
+    """1-indexed evaluate callable over a list."""
+    return lambda b: values[b - 1]
+
+
+class TestCorrectness:
+    def test_simple_v(self):
+        values = [9, 5, 3, 2, 4, 7, 11]
+        trace = find_v_minimum(from_list(values), 1, len(values))
+        assert trace.best_batch == 4
+        assert trace.best_latency == 2
+
+    def test_monotone_decreasing(self):
+        values = [10, 8, 6, 4, 2]
+        trace = find_v_minimum(from_list(values), 1, 5)
+        assert trace.best_batch == 5
+
+    def test_monotone_increasing(self):
+        values = [1, 3, 5, 7]
+        trace = find_v_minimum(from_list(values), 1, 4)
+        assert trace.best_batch == 1
+
+    def test_single_element(self):
+        trace = find_v_minimum(from_list([42]), 1, 1)
+        assert trace.best_batch == 1
+        assert trace.best_latency == 42
+
+    def test_flat_plateau(self):
+        values = [5, 3, 3, 3, 6]
+        trace = find_v_minimum(from_list(values), 1, 5)
+        assert trace.best_latency == 3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            find_v_minimum(from_list([1]), 0, 1)
+        with pytest.raises(ValueError):
+            find_v_minimum(from_list([1]), 2, 1)
+
+    @given(
+        left=st.integers(0, 30),
+        right=st.integers(0, 30),
+        depth=st.floats(0.1, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_v_sequences(self, left, right, depth):
+        """Any strictly-V sequence: FindMin locates the exact minimum."""
+        down = [depth + (left - i) for i in range(left)]
+        up = [depth + (i + 1) for i in range(right)]
+        values = down + [depth] + up
+        trace = find_v_minimum(from_list(values), 1, len(values))
+        assert trace.best_latency == depth
+        assert trace.best_batch == left + 1
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024])
+    def test_logarithmic_test_runs(self, n):
+        """Section 4.2's claim: O(log N) test runs instead of N."""
+        values = [abs(i - n // 3) + 1.0 for i in range(n)]
+        trace = find_v_minimum(from_list(values), 1, n)
+        assert trace.test_runs <= 2 * math.ceil(math.log2(n)) + 2
+        assert trace.best_batch == n // 3 + 1
+
+    def test_memoisation_counts_unique_probes(self):
+        calls = []
+
+        def evaluate(b):
+            calls.append(b)
+            return abs(b - 5) + 1.0
+
+        trace = find_v_minimum(evaluate, 1, 16)
+        assert len(calls) == len(set(calls))  # never re-evaluates
+        assert trace.test_runs == len(calls)

@@ -1,0 +1,321 @@
+"""Tests for the discrete-event engine: effects, determinism, resources."""
+
+import pytest
+
+from repro.simulator.engine import (
+    Acquire,
+    Compute,
+    Get,
+    Put,
+    Release,
+    SimEngine,
+    Wait,
+)
+from repro.simulator.resources import SimFIFO, SimFuture, SimLock
+
+
+class TestCompute:
+    def test_advances_clock(self):
+        engine = SimEngine()
+
+        def task():
+            yield Compute(5.0)
+            yield Compute(3.0)
+
+        engine.spawn(task())
+        assert engine.run() == 8.0
+
+    def test_parallel_tasks_overlap(self):
+        engine = SimEngine()
+
+        def task():
+            yield Compute(10.0)
+
+        engine.spawn(task())
+        engine.spawn(task())
+        assert engine.run() == 10.0  # concurrent, not 20
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_tagged_compute_metrics(self):
+        engine = SimEngine()
+
+        def task():
+            yield Compute(2.0, tag="select")
+            yield Compute(3.0, tag="select")
+            yield Compute(1.0, tag="backup")
+
+        engine.spawn(task())
+        engine.run()
+        assert engine.metrics.compute_by_tag["select"] == 5.0
+        assert engine.metrics.compute_by_tag["backup"] == 1.0
+
+    def test_busy_time_tracked(self):
+        engine = SimEngine()
+
+        def task():
+            yield Compute(4.0)
+
+        t = engine.spawn(task())
+        engine.run()
+        assert t.busy_time == 4.0
+        assert t.done
+
+
+class TestLocks:
+    def test_mutual_exclusion_serialises(self):
+        engine = SimEngine()
+        lock = SimLock("l")
+        order = []
+
+        def task(name):
+            yield Acquire(lock)
+            order.append((name, engine.now, "in"))
+            yield Compute(5.0)
+            order.append((name, engine.now, "out"))
+            yield Release(lock)
+
+        engine.spawn(task("a"))
+        engine.spawn(task("b"))
+        total = engine.run()
+        assert total == 10.0  # fully serialised
+        # no interleaving: a fully inside, then b
+        assert [e[0] for e in order] == ["a", "a", "b", "b"]
+
+    def test_fifo_fairness(self):
+        engine = SimEngine()
+        lock = SimLock()
+        acquired = []
+
+        def task(name, delay):
+            yield Compute(delay)
+            yield Acquire(lock)
+            acquired.append(name)
+            yield Compute(10.0)
+            yield Release(lock)
+
+        for i, name in enumerate(["w0", "w1", "w2"]):
+            engine.spawn(task(name, i * 0.1))
+        engine.run()
+        assert acquired == ["w0", "w1", "w2"]
+
+    def test_contention_metric(self):
+        engine = SimEngine()
+        lock = SimLock()
+
+        def task():
+            yield Acquire(lock)
+            yield Compute(2.0)
+            yield Release(lock)
+
+        engine.spawn(task())
+        engine.spawn(task())
+        engine.run()
+        assert lock.contended == 1
+        assert engine.metrics.total_lock_wait == 2.0
+
+    def test_release_by_non_holder_raises(self):
+        engine = SimEngine()
+        lock = SimLock()
+
+        def holder():
+            yield Acquire(lock)
+            yield Compute(10.0)
+            yield Release(lock)
+
+        def thief():
+            yield Compute(1.0)
+            yield Release(lock)
+
+        engine.spawn(holder())
+        engine.spawn(thief())
+        with pytest.raises(RuntimeError, match="does not hold"):
+            engine.run()
+
+
+class TestFIFO:
+    def test_put_then_get(self):
+        engine = SimEngine()
+        fifo = SimFIFO()
+        got = []
+
+        def producer():
+            yield Compute(1.0)
+            yield Put(fifo, "x")
+
+        def consumer():
+            item = yield Get(fifo)
+            got.append((item, engine.now))
+
+        engine.spawn(consumer())
+        engine.spawn(producer())
+        engine.run()
+        assert got == [("x", 1.0)]
+
+    def test_get_blocks_until_put(self):
+        engine = SimEngine()
+        fifo = SimFIFO()
+        times = []
+
+        def consumer():
+            yield Get(fifo)
+            times.append(engine.now)
+
+        def producer():
+            yield Compute(7.0)
+            yield Put(fifo, 1)
+
+        engine.spawn(consumer())
+        engine.spawn(producer())
+        engine.run()
+        assert times == [7.0]
+
+    def test_fifo_ordering(self):
+        engine = SimEngine()
+        fifo = SimFIFO()
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield Put(fifo, i)
+                yield Compute(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield Get(fifo)
+                got.append(item)
+
+        engine.spawn(producer())
+        engine.spawn(consumer())
+        engine.run()
+        assert got == [0, 1, 2]
+
+    def test_multiple_getters_fifo(self):
+        engine = SimEngine()
+        fifo = SimFIFO()
+        got = []
+
+        def consumer(name):
+            item = yield Get(fifo)
+            got.append((name, item))
+
+        def producer():
+            yield Compute(1.0)
+            yield Put(fifo, "a")
+            yield Put(fifo, "b")
+
+        engine.spawn(consumer("c0"))
+        engine.spawn(consumer("c1"))
+        engine.spawn(producer())
+        engine.run()
+        assert got == [("c0", "a"), ("c1", "b")]
+
+
+class TestFutures:
+    def test_wait_resolved_future_continues(self):
+        engine = SimEngine()
+        fut = SimFuture()
+
+        def resolver():
+            yield Compute(2.0)
+            engine.resolve_future(fut, 42)
+
+        got = []
+
+        def waiter():
+            v = yield Wait(fut)
+            got.append((v, engine.now))
+
+        engine.spawn(waiter())
+        engine.spawn(resolver())
+        engine.run()
+        assert got == [(42, 2.0)]
+
+    def test_already_resolved_is_instant(self):
+        engine = SimEngine()
+        fut = SimFuture()
+        got = []
+
+        def task():
+            yield Compute(1.0)
+            engine.resolve_future(fut, "v")
+            value = yield Wait(fut)
+            got.append((value, engine.now))
+
+        engine.spawn(task())
+        engine.run()
+        assert got == [("v", 1.0)]
+
+    def test_double_resolve_raises(self):
+        engine = SimEngine()
+        fut = SimFuture()
+        engine.resolve_future(fut, 1)
+        with pytest.raises(RuntimeError):
+            engine.resolve_future(fut, 2)
+
+
+class TestCallbacks:
+    def test_call_at_fires_in_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.call_at(5.0, lambda: fired.append(("b", engine.now)))
+        engine.call_at(2.0, lambda: fired.append(("a", engine.now)))
+        engine.run()
+        assert fired == [("a", 2.0), ("b", 5.0)]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimEngine()
+
+        def task():
+            yield Compute(10.0)
+
+        engine.spawn(task())
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.call_at(5.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_identical_programs_identical_schedules(self):
+        def build():
+            engine = SimEngine()
+            lock = SimLock()
+            log = []
+
+            def worker(name, d):
+                yield Compute(d)
+                yield Acquire(lock)
+                log.append((name, engine.now))
+                yield Compute(1.0)
+                yield Release(lock)
+
+            for i in range(5):
+                engine.spawn(worker(f"w{i}", (i * 7) % 3))
+            engine.run()
+            return log
+
+        assert build() == build()
+
+    def test_run_until(self):
+        engine = SimEngine()
+
+        def task():
+            for _ in range(10):
+                yield Compute(1.0)
+
+        engine.spawn(task())
+        t = engine.run(until=4.5)
+        assert t == 4.5
+        assert engine.run() == 10.0  # resumes where it stopped
+
+    def test_non_effect_yield_raises(self):
+        engine = SimEngine()
+
+        def bad():
+            yield "not an effect"
+
+        engine.spawn(bad())
+        with pytest.raises(TypeError):
+            engine.run()

@@ -1,0 +1,125 @@
+"""Property-based tests for the discrete-event engine.
+
+Random task programs are generated and the engine's global invariants
+checked: clock monotonicity, work conservation, lock mutual exclusion,
+and schedule determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.engine import Acquire, Compute, Release, SimEngine
+from repro.simulator.resources import SimLock
+
+
+def random_program(seed, num_tasks, steps):
+    """Build (engine, trace, expected busy) for a random lock/compute mix."""
+    rng = np.random.default_rng(seed)
+    engine = SimEngine()
+    locks = [SimLock(f"l{i}") for i in range(2)]
+    trace: list[tuple[str, float, str]] = []
+    total_busy = 0.0
+
+    def make_task(name, ops):
+        def task():
+            for kind, arg in ops:
+                if kind == "compute":
+                    trace.append((name, engine.now, "compute"))
+                    yield Compute(arg)
+                else:
+                    lock = locks[arg]
+                    yield Acquire(lock)
+                    trace.append((name, engine.now, f"hold{arg}"))
+                    yield Compute(0.5)
+                    yield Release(lock)
+
+        return task
+
+    for t in range(num_tasks):
+        ops = []
+        for _ in range(steps):
+            if rng.random() < 0.6:
+                d = float(rng.integers(1, 5))
+                ops.append(("compute", d))
+                total_busy += d
+            else:
+                ops.append(("lock", int(rng.integers(0, 2))))
+                total_busy += 0.5
+        engine.spawn(make_task(f"t{t}", ops)(), f"t{t}")
+    return engine, trace, total_busy
+
+
+class TestEngineProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        num_tasks=st.integers(1, 6),
+        steps=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, seed, num_tasks, steps):
+        """span <= total busy work (serial bound) and span >= busy work /
+        num_tasks (perfect-parallel bound)."""
+        engine, _, total_busy = random_program(seed, num_tasks, steps)
+        span = engine.run()
+        assert span <= total_busy + 1e-9
+        assert span >= total_busy / num_tasks - 1e-9
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_tasks=st.integers(2, 6),
+        steps=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clock_monotone_in_trace(self, seed, num_tasks, steps):
+        engine, trace, _ = random_program(seed, num_tasks, steps)
+        engine.run()
+        times = [t for _, t, _ in trace]
+        assert all(a <= b + 1e-12 for a, b in zip(times, times[1:]))
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_tasks=st.integers(2, 5),
+        steps=st.integers(2, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_schedule(self, seed, num_tasks, steps):
+        e1, t1, _ = random_program(seed, num_tasks, steps)
+        e1.run()
+        e2, t2, _ = random_program(seed, num_tasks, steps)
+        e2.run()
+        assert t1 == t2
+        assert e1.now == e2.now
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lock_holders_never_overlap(self, seed):
+        """Reconstruct hold intervals per lock: they must not overlap."""
+        rng = np.random.default_rng(seed)
+        engine = SimEngine()
+        lock = SimLock()
+        intervals: list[tuple[float, float]] = []
+
+        def task(delay, hold):
+            def gen():
+                yield Compute(delay)
+                yield Acquire(lock)
+                start = engine.now
+                yield Compute(hold)
+                intervals.append((start, engine.now))
+                yield Release(lock)
+
+            return gen
+
+        for _ in range(4):
+            engine.spawn(task(float(rng.integers(0, 3)), float(rng.integers(1, 4)))())
+        engine.run()
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12
+
+    def test_all_tasks_complete(self):
+        engine, _, _ = random_program(7, 5, 6)
+        engine.run()
+        assert all(t.done for t in engine.tasks)

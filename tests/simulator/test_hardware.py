@@ -1,0 +1,88 @@
+"""Tests for hardware specs and the latency model."""
+
+import pytest
+
+from repro.simulator.hardware import CPUSpec, GPUSpec, PlatformSpec, paper_platform
+from repro.simulator.workload import LatencyModel
+
+
+class TestCPUSpec:
+    def test_paper_preset(self):
+        plat = paper_platform()
+        assert plat.cpu.num_cores == 64
+        assert plat.cpu.max_threads == 128
+        assert plat.cpu.llc_bytes == 256 * 2**20
+        assert plat.gpu is not None
+
+    def test_cpu_only_preset(self):
+        assert paper_platform(with_gpu=False).gpu is None
+
+    def test_cache_faster_than_ddr_enforced(self):
+        with pytest.raises(ValueError):
+            CPUSpec(child_scan_ddr=0.01e-6, child_scan_cache=0.1e-6)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CPUSpec(dnn_latency=-1.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            CPUSpec(num_cores=0)
+
+
+class TestGPUSpec:
+    def test_transfer_model_matches_paper(self):
+        """T_PCIe for a move shipping N samples in N/B transfers is
+        (N/B)*L + N/BW (Section 4.2)."""
+        gpu = GPUSpec()
+        n, b = 64, 8
+        per_transfer = gpu.transfer_time(b)
+        total = (n // b) * per_transfer
+        expected = (n / b) * gpu.launch_latency + n * gpu.per_sample_transfer
+        assert total == pytest.approx(expected)
+
+    def test_compute_monotone_in_batch(self):
+        gpu = GPUSpec()
+        times = [gpu.compute_time(b) for b in range(1, 65)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_per_sample_compute_decreases(self):
+        """Batching amortises the kernel base: per-sample time drops."""
+        gpu = GPUSpec()
+        assert gpu.compute_time(32) / 32 < gpu.compute_time(1)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            GPUSpec().compute_time(0)
+        with pytest.raises(ValueError):
+            GPUSpec().transfer_time(0)
+
+
+class TestLatencyModel:
+    def test_shared_slower_than_local(self):
+        lat = LatencyModel(paper_platform())
+        assert lat.select_node(10, shared=True) > lat.select_node(10, shared=False)
+        assert lat.backup_node(shared=True) > lat.backup_node(shared=False)
+        assert lat.vl_update(shared=True) > lat.vl_update(shared=False)
+
+    def test_select_scales_with_fanout(self):
+        lat = LatencyModel(paper_platform())
+        assert lat.select_node(100, True) == pytest.approx(
+            10 * lat.select_node(10, True)
+        )
+
+    def test_expand_scales_with_children(self):
+        lat = LatencyModel(paper_platform())
+        assert lat.expand(50, False) > lat.expand(5, False)
+
+    def test_gpu_methods_require_gpu(self):
+        lat = LatencyModel(paper_platform(with_gpu=False))
+        with pytest.raises(ValueError):
+            lat.gpu_compute(4)
+        with pytest.raises(ValueError):
+            lat.gpu_transfer(4)
+
+    def test_negative_children_rejected(self):
+        lat = LatencyModel(paper_platform())
+        with pytest.raises(ValueError):
+            lat.select_node(-1, True)

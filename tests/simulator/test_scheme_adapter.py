@@ -1,0 +1,73 @@
+"""Tests for the DES-backed ParallelScheme adapter."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.evaluation import UniformEvaluator
+from repro.parallel.base import SchemeName
+from repro.simulator import SimulatedScheme, paper_platform
+
+PLAT = paper_platform()
+
+
+class TestSimulatedScheme:
+    def test_prior_is_distribution(self):
+        scheme = SimulatedScheme(
+            SchemeName.LOCAL_TREE, UniformEvaluator(), PLAT, num_workers=4
+        )
+        prior = scheme.get_action_prior(TicTacToe(), 100)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_virtual_time_accumulates(self):
+        scheme = SimulatedScheme(
+            SchemeName.SHARED_TREE, UniformEvaluator(), PLAT, num_workers=4
+        )
+        scheme.get_action_prior(TicTacToe(), 50)
+        t1 = scheme.virtual_time
+        scheme.get_action_prior(TicTacToe(), 50)
+        assert scheme.virtual_time > t1 > 0
+
+    def test_deterministic(self):
+        def run():
+            scheme = SimulatedScheme(
+                SchemeName.LOCAL_TREE, UniformEvaluator(), PLAT,
+                num_workers=8, batch_size=4, use_gpu=True,
+            )
+            prior = scheme.get_action_prior(TicTacToe(), 120)
+            return prior, scheme.virtual_time
+
+        (p1, t1), (p2, t2) = run(), run()
+        assert np.allclose(p1, p2)
+        assert t1 == t2
+
+    def test_last_result_exposed(self):
+        scheme = SimulatedScheme(
+            SchemeName.SHARED_TREE, UniformEvaluator(), PLAT, num_workers=4
+        )
+        scheme.get_action_prior(TicTacToe(), 60)
+        assert scheme.last_result is not None
+        assert scheme.last_result.playouts == 60
+
+    def test_rejects_non_tree_schemes(self):
+        with pytest.raises(ValueError):
+            SimulatedScheme(
+                SchemeName.LEAF_PARALLEL, UniformEvaluator(), PLAT, num_workers=4
+            )
+
+    def test_name_matches(self):
+        s = SimulatedScheme(
+            SchemeName.LOCAL_TREE, UniformEvaluator(), PLAT, num_workers=2
+        )
+        assert s.name == SchemeName.LOCAL_TREE
+
+    def test_pipeline_integration(self):
+        """SimulatedScheme drops into play_episode like any scheme."""
+        from repro.training.selfplay import play_episode
+
+        scheme = SimulatedScheme(
+            SchemeName.LOCAL_TREE, UniformEvaluator(), PLAT, num_workers=4
+        )
+        result = play_episode(TicTacToe(), scheme, num_playouts=30, rng=0)
+        assert result.moves > 0
+        assert scheme.virtual_time > 0

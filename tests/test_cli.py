@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_configure_defaults(self):
+        args = build_parser().parse_args(["configure"])
+        assert args.game == "gomoku"
+        assert args.workers == 16
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["configure", "--game", "chess"])
+
+
+class TestCommands:
+    def test_configure_cpu(self, capsys):
+        rc = main(["configure", "--game", "gomoku", "--size", "9",
+                   "--workers", "8", "--profile-playouts", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out
+        assert "us/iteration" in out
+
+    def test_configure_gpu(self, capsys):
+        rc = main(["configure", "--game", "gomoku", "--size", "9",
+                   "--workers", "16", "--gpu", "--profile-playouts", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Algorithm-4 test runs" in out
+
+    def test_simulate_shared(self, capsys):
+        rc = main(["simulate", "--game", "tictactoe", "--scheme", "shared",
+                   "--workers", "4", "--playouts", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per_iter_us" in out
+
+    def test_simulate_local_gpu(self, capsys):
+        rc = main(["simulate", "--game", "gomoku", "--size", "9",
+                   "--scheme", "local", "--workers", "8", "--batch", "4",
+                   "--gpu", "--playouts", "60"])
+        assert rc == 0
+        assert "per_iter_us" in capsys.readouterr().out
+
+    def test_train_smoke(self, capsys):
+        rc = main(["train", "--game", "tictactoe", "--episodes", "1",
+                   "--playouts", "10", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out

@@ -1,0 +1,108 @@
+"""Tests for the agent arena and Elo ratings."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.evaluation import RandomRolloutEvaluator, UniformEvaluator
+from repro.mcts.serial import SerialMCTS
+from repro.training.arena import Arena, ArenaResult, MatchRecord, elo_ratings
+
+
+class RandomAgent:
+    """Uniform-random mover with the scheme interface."""
+
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def get_action_prior(self, game, num_playouts):
+        prior = np.zeros(game.action_size)
+        legal = game.legal_actions()
+        prior[legal] = 1.0 / len(legal)
+        return prior
+
+
+class TestMatchRecord:
+    def test_score_convention(self):
+        r = MatchRecord(first="a", second="b", winner=1, moves=5)
+        assert r.score_for("a") == 1.0
+        assert r.score_for("b") == 0.0
+
+    def test_draw(self):
+        r = MatchRecord(first="a", second="b", winner=0, moves=9)
+        assert r.score_for("a") == 0.5
+        assert r.score_for("b") == 0.5
+
+    def test_second_player_win(self):
+        r = MatchRecord(first="a", second="b", winner=-1, moves=6)
+        assert r.score_for("b") == 1.0
+
+
+class TestArena:
+    def test_round_robin_counts(self):
+        arena = Arena(TicTacToe, num_playouts=10, rng=0)
+        agents = {"r1": RandomAgent(1), "r2": RandomAgent(2)}
+        result = arena.round_robin(agents, games_per_pair=3)
+        assert len(result.records) == 6  # 2 ordered pairs x 3
+        assert result.games_played("r1") == 6
+
+    def test_scores_conserve(self):
+        arena = Arena(TicTacToe, num_playouts=10, rng=1)
+        agents = {"a": RandomAgent(3), "b": RandomAgent(4), "c": RandomAgent(5)}
+        result = arena.round_robin(agents, games_per_pair=1)
+        total = sum(result.score(n) for n in agents)
+        assert total == pytest.approx(len(result.records))
+
+    def test_stronger_agent_scores_higher(self):
+        """An MCTS agent must dominate a uniform-random mover."""
+        arena = Arena(TicTacToe, num_playouts=100, opening_random_moves=1, rng=2)
+        agents = {
+            "mcts": SerialMCTS(RandomRolloutEvaluator(rng=0), c_puct=1.5, rng=3),
+            "random": RandomAgent(6),
+        }
+        result = arena.round_robin(agents, games_per_pair=4)
+        assert result.score("mcts") > result.score("random")
+
+    def test_invalid_args(self):
+        arena = Arena(TicTacToe, rng=0)
+        with pytest.raises(ValueError):
+            arena.round_robin({"only": RandomAgent()}, 1)
+        with pytest.raises(ValueError):
+            arena.round_robin({"a": RandomAgent(), "b": RandomAgent()}, 0)
+        with pytest.raises(ValueError):
+            Arena(TicTacToe, num_playouts=0)
+
+
+class TestElo:
+    def _records(self, wins_ab, wins_ba, draws=0):
+        recs = []
+        recs += [MatchRecord("a", "b", 1, 5)] * wins_ab
+        recs += [MatchRecord("a", "b", -1, 5)] * wins_ba
+        recs += [MatchRecord("a", "b", 0, 9)] * draws
+        return recs
+
+    def test_dominant_player_rated_higher(self):
+        ratings = elo_ratings(self._records(wins_ab=8, wins_ba=2))
+        assert ratings["a"] > ratings["b"]
+
+    def test_even_results_equal_ratings(self):
+        ratings = elo_ratings(self._records(wins_ab=5, wins_ba=5))
+        assert abs(ratings["a"] - ratings["b"]) < 1.0
+
+    def test_anchor_mean(self):
+        ratings = elo_ratings(self._records(6, 4), anchor=1500.0)
+        assert np.isclose(np.mean(list(ratings.values())), 1500.0)
+
+    def test_rating_gap_grows_with_dominance(self):
+        mild = elo_ratings(self._records(6, 4))
+        strong = elo_ratings(self._records(10, 0))
+        assert (strong["a"] - strong["b"]) > (mild["a"] - mild["b"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            elo_ratings([])
+
+    def test_arena_result_elo(self):
+        result = ArenaResult(records=self._records(7, 3))
+        ratings = result.elo()
+        assert ratings["a"] > ratings["b"]

@@ -1,0 +1,105 @@
+"""Tests for the replay buffer and training examples."""
+
+import numpy as np
+import pytest
+
+from repro.games import Gomoku, TicTacToe
+from repro.training.dataset import ReplayBuffer, TrainingExample
+
+
+def example(value=0.5, seed=0, size=3):
+    rng = np.random.default_rng(seed)
+    return TrainingExample(
+        planes=rng.random((4, size, size)),
+        policy=rng.dirichlet(np.ones(size * size)),
+        value=value,
+    )
+
+
+class TestTrainingExample:
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            example(value=2.0)
+
+    def test_valid_bounds(self):
+        example(value=1.0)
+        example(value=-1.0)
+
+
+class TestReplayBuffer:
+    def test_add_and_len(self):
+        buf = ReplayBuffer(capacity=10, rng=0)
+        buf.add(example())
+        assert len(buf) == 1
+        assert buf.total_added == 1
+
+    def test_capacity_evicts_oldest(self):
+        buf = ReplayBuffer(capacity=3, rng=0)
+        for i in range(5):
+            buf.add(example(value=i / 10))
+        assert len(buf) == 3
+        states, _, values = buf.sample(100)
+        assert set(np.round(values, 1)) <= {0.2, 0.3, 0.4}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(rng=0)
+        for i in range(4):
+            buf.add(example(seed=i))
+        states, policies, values = buf.sample(8)
+        assert states.shape == (8, 4, 3, 3)
+        assert policies.shape == (8, 9)
+        assert values.shape == (8,)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(rng=0).sample(1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+        buf = ReplayBuffer(rng=0)
+        buf.add(example())
+        with pytest.raises(ValueError):
+            buf.sample(0)
+
+    def test_deterministic_sampling(self):
+        def build():
+            buf = ReplayBuffer(rng=7)
+            for i in range(10):
+                buf.add(example(seed=i, value=i / 10))
+            return buf.sample(5)[2]
+
+        assert np.allclose(build(), build())
+
+
+class TestSymmetryAugmentation:
+    def test_gomoku_eightfold(self):
+        buf = ReplayBuffer(rng=0)
+        g = Gomoku(5, 4)
+        ex = TrainingExample(
+            planes=g.encode(),
+            policy=np.full(25, 1 / 25),
+            value=0.0,
+        )
+        count = buf.add_with_symmetries(g, ex)
+        assert count == 8
+        assert len(buf) == 8
+
+    def test_augmented_values_identical(self):
+        buf = ReplayBuffer(rng=0)
+        g = TicTacToe()
+        ex = TrainingExample(planes=g.encode(), policy=np.full(9, 1 / 9), value=0.75)
+        buf.add_with_symmetries(g, ex)
+        _, _, values = buf.sample(20)
+        assert np.allclose(values, 0.75)
+
+    def test_policies_stay_normalised(self):
+        buf = ReplayBuffer(rng=1)
+        g = Gomoku(4, 3)
+        rng = np.random.default_rng(2)
+        ex = TrainingExample(
+            planes=g.encode(), policy=rng.dirichlet(np.ones(16)), value=0.0
+        )
+        buf.add_with_symmetries(g, ex)
+        _, policies, _ = buf.sample(16)
+        assert np.allclose(policies.sum(axis=1), 1.0)
