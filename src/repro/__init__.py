@@ -19,6 +19,9 @@ Subpackages
   profiling, Algorithm-4 batch-size search, adaptive scheme selection.
 - :mod:`repro.training`  -- Algorithm-1 training pipeline (self-play data
   collection + SGD).
+- :mod:`repro.serving`   -- cross-game batched self-play engine: many
+  concurrent games multiplexed through one accelerator queue with an LRU
+  evaluation cache in front.
 """
 
 __version__ = "1.0.0"

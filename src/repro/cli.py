@@ -6,7 +6,11 @@ configure : run the design-configuration workflow (Sections 3.2/4.2) for
     a game + platform and print the chosen scheme / batch size.
 simulate  : execute one move's tree-based search on the virtual platform
     and print the timing summary (the unit the figures are built from).
-train     : run the Algorithm-1 training loop at small scale.
+train     : run the Algorithm-1 training loop at small scale; with
+    ``--concurrent-games G`` data collection runs G games per iteration
+    through the shared accelerator queue + evaluation cache.
+selfplay  : run one multi-game batched self-play round and print the
+    serving statistics (games/sec, batch occupancy, cache hit rate).
 """
 
 from __future__ import annotations
@@ -59,8 +63,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--size", type=int, default=6)
     p_train.add_argument("--episodes", type=int, default=5)
     p_train.add_argument("--playouts", type=int, default=40)
-    p_train.add_argument("--workers", type=int, default=4)
+    p_train.add_argument(
+        "--workers", type=int, default=4,
+        help="within-tree search workers (single-game mode; ignored when "
+             "--concurrent-games > 1, where parallelism comes from games)",
+    )
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--concurrent-games", type=int, default=1,
+        help="collect data with G concurrent games per iteration (shared "
+             "accelerator queue + evaluation cache)",
+    )
+
+    p_sp = sub.add_parser(
+        "selfplay", help="multi-game batched self-play round (serving engine)"
+    )
+    p_sp.add_argument("--game", default="tictactoe",
+                      choices=["gomoku", "tictactoe", "connect4"])
+    p_sp.add_argument("--size", type=int, default=6)
+    p_sp.add_argument("--games", type=int, default=8, help="concurrent games G")
+    p_sp.add_argument("--playouts", type=int, default=40)
+    p_sp.add_argument("--rounds", type=int, default=1)
+    p_sp.add_argument("--cache-capacity", type=int, default=8192)
+    p_sp.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -121,33 +146,86 @@ def cmd_train(args) -> int:
     from repro.mcts import NetworkEvaluator
     from repro.nn import Adam, AlphaZeroLoss
     from repro.parallel import LocalTreeMCTS
+    from repro.serving import MultiGameSelfPlayEngine
     from repro.training import Trainer, TrainingPipeline
 
     game = _make_game(args.game, args.size)
     net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
-    scheme = LocalTreeMCTS(
-        NetworkEvaluator(net), num_workers=args.workers,
-        batch_size=max(1, args.workers // 2), dirichlet_epsilon=0.25,
-        rng=args.seed + 1,
-    )
+    evaluator = NetworkEvaluator(net)
+    max_moves = game.board_shape[0] * game.board_shape[1]
+    scheme = None
+    engine = None
+    if args.concurrent_games > 1:
+        from repro.mcts import SerialMCTS
+
+        if args.workers != 4:  # non-default: the user asked for something
+            print("note: --workers is ignored with --concurrent-games > 1 "
+                  "(parallelism comes from concurrent games)")
+        engine = MultiGameSelfPlayEngine(
+            game, evaluator, num_games=args.concurrent_games,
+            num_playouts=args.playouts, max_moves=max_moves,
+            # same root exploration noise as the single-game path
+            scheme_factory=lambda ev, game_rng: SerialMCTS(
+                ev, dirichlet_epsilon=0.25, rng=game_rng
+            ),
+            rng=args.seed + 1,
+        )
+    else:
+        scheme = LocalTreeMCTS(
+            evaluator, num_workers=args.workers,
+            batch_size=max(1, args.workers // 2), dirichlet_epsilon=0.25,
+            rng=args.seed + 1,
+        )
     trainer = Trainer(net, Adam(net.parameters(), lr=2e-3), AlphaZeroLoss(1e-4))
     pipeline = TrainingPipeline(
         game, scheme, trainer, num_playouts=args.playouts, sgd_iterations=6,
-        batch_size=64, rng=args.seed + 2,
-        max_moves=game.board_shape[0] * game.board_shape[1],
+        batch_size=64, rng=args.seed + 2, max_moves=max_moves, engine=engine,
     )
     try:
         metrics = pipeline.run(
             args.episodes,
             on_episode=lambda i, m: print(
-                f"episode {i + 1:3d}: samples={m.samples_produced:4d} "
+                f"iteration {i + 1:3d}: episodes={m.episodes:4d} "
+                f"samples={m.samples_produced:4d} "
                 f"loss={m.loss_history[-1].total:.3f}"
             ),
         )
     finally:
-        scheme.close()
+        if scheme is not None:
+            scheme.close()
+        if engine is not None:
+            engine.close()
     print(f"throughput: {metrics.throughput:.2f} samples/s, "
           f"final loss {metrics.final_loss:.3f}")
+    if engine is not None:
+        print(f"cache hit rate: {metrics.cache_hit_rate:.1%}, "
+              f"mean batch occupancy: {metrics.mean_batch_occupancy:.2f}")
+    return 0
+
+
+def cmd_selfplay(args) -> int:
+    from repro.games import build_network_for
+    from repro.mcts import NetworkEvaluator
+    from repro.serving import MultiGameSelfPlayEngine
+
+    game = _make_game(args.game, args.size)
+    net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
+    engine = MultiGameSelfPlayEngine(
+        game, NetworkEvaluator(net), num_games=args.games,
+        num_playouts=args.playouts, cache_capacity=args.cache_capacity,
+        max_moves=game.board_shape[0] * game.board_shape[1],
+        rng=args.seed + 1,
+    )
+    with engine:
+        for r in range(args.rounds):
+            results, stats = engine.play_round()
+            print(f"round {r + 1}:")
+            for key, value in stats.as_dict().items():
+                print(f"  {key:22s} {value}")
+            wins = sum(1 for e in results if e.winner == 1)
+            losses = sum(1 for e in results if e.winner == -1)
+            draws = len(results) - wins - losses
+            print(f"  outcomes               +1:{wins} -1:{losses} ={draws}")
     return 0
 
 
@@ -160,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_simulate(args)
     if args.command == "train":
         return cmd_train(args)
+    if args.command == "selfplay":
+        return cmd_selfplay(args)
     raise AssertionError("unreachable")
 
 

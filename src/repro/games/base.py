@@ -94,6 +94,18 @@ class Game(abc.ABC):
         mask[self.legal_actions()] = True
         return mask
 
+    def canonical_key(self) -> tuple:
+        """Hashable key identifying this state for evaluation caching.
+
+        Two states with equal keys must be interchangeable for leaf
+        evaluation: same :meth:`encode` planes, same legal-move mask.  The
+        default derives the key from the encoded planes (which already
+        embed the player-to-move colour plane); concrete games override it
+        with a cheaper digest of their raw state so the serving-layer
+        evaluation cache does not pay an encode per lookup.
+        """
+        return (type(self).__qualname__, self.current_player, self.encode().tobytes())
+
     def symmetries(
         self, planes: np.ndarray, policy: np.ndarray
     ) -> list[tuple[np.ndarray, np.ndarray]]:

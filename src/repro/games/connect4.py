@@ -111,6 +111,10 @@ class ConnectFour(Game):
                 return True
         return False
 
+    def canonical_key(self) -> tuple:
+        return ("connect4", self.rows, self.cols, self.n_in_row, self._player,
+                self._last, self.board.tobytes())
+
     def encode(self) -> np.ndarray:
         planes = np.zeros((self.num_planes, self.rows, self.cols), dtype=np.float64)
         planes[0] = self.board == self._player

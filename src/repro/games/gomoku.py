@@ -119,6 +119,11 @@ class Gomoku(Game):
                 return True
         return False
 
+    def canonical_key(self) -> tuple:
+        # The last move feeds plane 2 of encode(), so it is key material.
+        return ("gomoku", self.size, self.n_in_row, self._player,
+                self.last_action, self.board.tobytes())
+
     # -- encoding -------------------------------------------------------
     def encode(self) -> np.ndarray:
         """AlphaZero-style planes from the mover's perspective.

@@ -114,6 +114,11 @@ class SyntheticTreeGame(Game):
             return -1
         return 0
 
+    def canonical_key(self) -> tuple:
+        # The path hash fully determines the encode() planes and the legal
+        # move set (uniform fanout), so it is the whole state.
+        return ("synthetic", self.fanout, self.size, self.depth, self._hash)
+
     def encode(self) -> np.ndarray:
         """Hash-seeded pseudo-random planes (cheap, deterministic)."""
         rng = np.random.default_rng(self._hash & 0xFFFFFFFF)

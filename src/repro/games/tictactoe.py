@@ -83,6 +83,10 @@ class TicTacToe(Game):
     def winner(self) -> Player | None:
         return self._winner
 
+    def canonical_key(self) -> tuple:
+        # _last is part of the key: encode() emits a last-move plane.
+        return ("ttt", self._player, self._last, self.cells.tobytes())
+
     def encode(self) -> np.ndarray:
         planes = np.zeros((self.num_planes, 3, 3), dtype=np.float64)
         board = self.cells.reshape(3, 3)

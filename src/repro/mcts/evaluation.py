@@ -42,16 +42,32 @@ class Evaluation:
 
 
 def mask_and_normalize(probs: np.ndarray, legal_mask: np.ndarray) -> np.ndarray:
-    """Zero illegal entries and renormalise; uniform fallback if all mass
-    was on illegal moves (can happen early in training)."""
+    """Zero illegal entries and renormalise along the last axis; uniform
+    fallback for rows whose legal mass underflows (can happen early in
+    training).
+
+    Accepts a single ``(A,)`` vector or any batched ``(..., A)`` stack --
+    this is the one definition of the legality-normalisation contract, used
+    by both the per-state evaluators and the vectorised
+    :meth:`repro.nn.network.PolicyValueNet.predict_batch` path.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    legal_mask = np.asarray(legal_mask, dtype=bool)
+    if legal_mask.shape != probs.shape:
+        raise ValueError(
+            f"legal_mask shape {legal_mask.shape} does not match "
+            f"probs shape {probs.shape}"
+        )
     masked = np.where(legal_mask, probs, 0.0)
-    total = masked.sum()
-    if total <= 1e-12:
-        legal_count = int(legal_mask.sum())
-        if legal_count == 0:
-            raise ValueError("no legal actions to normalise over")
-        return legal_mask.astype(np.float64) / legal_count
-    return masked / total
+    totals = masked.sum(axis=-1, keepdims=True)
+    legal_counts = legal_mask.sum(axis=-1, keepdims=True)
+    if np.any(legal_counts == 0):
+        raise ValueError("no legal actions to normalise over")
+    degenerate = totals <= 1e-12
+    if not np.any(degenerate):  # hot path: no underflow, skip the fallback
+        return masked / totals
+    uniform = legal_mask.astype(np.float64) / legal_counts
+    return np.where(degenerate, uniform, masked / np.where(degenerate, 1.0, totals))
 
 
 class Evaluator(abc.ABC):
@@ -71,7 +87,14 @@ class Evaluator(abc.ABC):
 
 
 class NetworkEvaluator(Evaluator):
-    """Policy/value-network evaluation (the paper's DNN inference)."""
+    """Policy/value-network evaluation (the paper's DNN inference).
+
+    The batched path is vectorised end-to-end: states and legality masks
+    are stacked once and the forward pass, illegal-move masking and
+    renormalisation all run as whole-batch array operations (via
+    ``network.predict_batch`` when available), so batch cost does not
+    include a per-state Python inner loop.
+    """
 
     def __init__(self, network) -> None:
         self.network = network
@@ -83,12 +106,21 @@ class NetworkEvaluator(Evaluator):
         if not games:
             return []
         states = np.stack([g.encode() for g in games])
-        out = self.network.predict(states)
-        evals: list[Evaluation] = []
-        for i, g in enumerate(games):
-            priors = mask_and_normalize(out.policy[i], g.legal_mask())
-            evals.append(Evaluation(priors=priors, value=float(out.value[i])))
-        return evals
+        masks = np.stack([g.legal_mask() for g in games])
+        predict_batch = getattr(self.network, "predict_batch", None)
+        if predict_batch is not None:
+            out = predict_batch(states, masks)
+            policy = out.policy
+        else:  # non-PolicyValueNet backends: mask in one batched pass here
+            out = self.network.predict(states)
+            policy = mask_and_normalize(out.policy, masks)
+        # Copy each row out of the (B, A) batch array: Evaluations outlive
+        # the batch (e.g. in the serving-layer LRU cache), and a row *view*
+        # would pin the whole batch array in memory for its lifetime.
+        return [
+            Evaluation(priors=policy[i].copy(), value=float(out.value[i]))
+            for i in range(len(games))
+        ]
 
 
 class UniformEvaluator(Evaluator):

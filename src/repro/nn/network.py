@@ -153,6 +153,28 @@ class PolicyValueNet(Module):
             states = states[None]
         return self.forward(states)
 
+    def predict_batch(
+        self, states: np.ndarray, legal_masks: np.ndarray | None = None
+    ) -> NetworkOutput:
+        """Fully vectorised batched inference with optional legality masking.
+
+        The whole batch flows through the network as one stacked array --
+        the accelerator-queue payload of Section 3.3 -- and, when
+        *legal_masks* ``(B, A)`` is given, illegal-move masking and
+        renormalisation are applied as batched array ops rather than a
+        per-state Python loop.  Rows whose legal probability mass underflows
+        fall back to uniform-over-legal (mirroring
+        :func:`repro.mcts.evaluation.mask_and_normalize`).
+        """
+        out = self.predict(states)
+        if legal_masks is None:
+            return out
+        # single source of the legality-normalisation contract
+        from repro.mcts.evaluation import mask_and_normalize
+
+        policy = mask_and_normalize(out.policy, legal_masks)
+        return NetworkOutput(policy=policy, value=out.value, logits=out.logits)
+
     # -- persistence ---------------------------------------------------------
     def save(self, path: str) -> None:
         np.savez(path, **self.state_dict())

@@ -5,11 +5,16 @@ task requests produced by the tree selection process.  When the queue size
 reaches a predetermined threshold, all tasks are submitted together to the
 GPU for computation."
 
-:class:`AcceleratorQueue` is that queue: producers (shared-tree workers)
-submit states and block on a per-request future; whichever submission
-fills the batch executes the batched inference inline and resolves all the
-futures.  A *linger timeout* flushes partial batches so the tail of a move
-(fewer requests remaining than the threshold) cannot deadlock.
+:class:`AcceleratorQueue` is that queue: producers (shared-tree workers, or
+whole concurrent games in the multi-game serving engine) submit states and
+block on a per-request future; whichever submission fills the batch
+executes the batched inference inline and resolves all the futures.  A
+*linger timeout* flushes partial batches so the tail of a move (fewer
+requests remaining than the threshold) cannot deadlock.
+
+The flush threshold is adjustable at runtime (:meth:`set_batch_size`):
+the multi-game engine shrinks it as games finish so the last few producers
+are not condemned to linger-timeout stalls on every request.
 
 :class:`BatchingEvaluator` adapts the queue to the
 :class:`repro.mcts.evaluation.Evaluator` interface so any search scheme
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 from repro.games.base import Game
 from repro.mcts.evaluation import Evaluation, Evaluator
@@ -39,6 +45,12 @@ class AcceleratorQueue:
     linger : seconds a waiting producer tolerates before forcing a partial
         flush.  Needed because the last requests of a move may never fill
         a batch.
+
+    Statistics (``batches_flushed``, ``requests_served``, ``partial_flushes``
+    and the derived ``mean_batch_occupancy``) are maintained under the queue
+    lock: flushes run concurrently on producer threads, and unsynchronised
+    ``+=`` read-modify-write updates would silently lose counts under
+    contention.
     """
 
     def __init__(
@@ -49,13 +61,53 @@ class AcceleratorQueue:
         if linger <= 0:
             raise ValueError("linger must be positive")
         self.evaluator = evaluator
-        self.batch_size = batch_size
         self.linger = linger
         self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        self._batch_size = batch_size
         self._pending: list[tuple[Game, Future]] = []
         self.batches_flushed = 0
         self.requests_served = 0
+        #: flushes that went out below the threshold (linger/tail flushes)
+        self.partial_flushes = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Retarget the flush threshold; flushes immediately if the pending
+        backlog already meets the new (smaller) threshold."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        with self._lock:
+            self._batch_size = batch_size
+            flush_now = None
+            if len(self._pending) >= batch_size:
+                flush_now = self._pending
+                self._pending = []
+        if flush_now:
+            self._run_batch(flush_now)
+
+    def shrink_batch_size(self, batch_size: int) -> None:
+        """Lower the flush threshold to ``min(current, batch_size)``.
+
+        The min is taken under the queue lock, so concurrent shrinks apply
+        commutatively: whatever order near-simultaneous callers land in,
+        the threshold never moves back up (use :meth:`set_batch_size` for
+        that).  This is the engine's end-of-game path -- as producers
+        depart, the remaining ones must never wait on a threshold larger
+        than their own headcount.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        with self._lock:
+            self._batch_size = min(self._batch_size, batch_size)
+            flush_now = None
+            if len(self._pending) >= self._batch_size:
+                flush_now = self._pending
+                self._pending = []
+        if flush_now:
+            self._run_batch(flush_now)
 
     def submit(self, game: Game) -> Future:
         """Enqueue a state; returns a future resolving to its Evaluation."""
@@ -63,11 +115,9 @@ class AcceleratorQueue:
         flush_now: list[tuple[Game, Future]] | None = None
         with self._lock:
             self._pending.append((game, fut))
-            if len(self._pending) >= self.batch_size:
+            if len(self._pending) >= self._batch_size:
                 flush_now = self._pending
                 self._pending = []
-            else:
-                self._cond.notify_all()
         if flush_now is not None:
             self._run_batch(flush_now)
         return fut
@@ -78,7 +128,9 @@ class AcceleratorQueue:
         while True:
             try:
                 return fut.result(timeout=self.linger)
-            except TimeoutError:
+            # On Python < 3.11 concurrent.futures.TimeoutError is NOT the
+            # builtin TimeoutError, so both must be caught.
+            except (TimeoutError, FuturesTimeoutError):
                 self.flush()
 
     def flush(self) -> int:
@@ -98,10 +150,22 @@ class AcceleratorQueue:
             for _, fut in batch:
                 fut.set_exception(err)
             return
-        self.batches_flushed += 1
-        self.requests_served += len(batch)
+        with self._lock:
+            self.batches_flushed += 1
+            self.requests_served += len(batch)
+            if len(batch) < self._batch_size:
+                self.partial_flushes += 1
         for (_, fut), ev in zip(batch, evaluations):
             fut.set_result(ev)
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average requests per flushed batch (the Section 3.3 figure of
+        merit: higher occupancy = better accelerator utilisation)."""
+        with self._lock:
+            if self.batches_flushed == 0:
+                return 0.0
+            return self.requests_served / self.batches_flushed
 
     @property
     def pending_count(self) -> int:

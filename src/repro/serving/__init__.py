@@ -1,0 +1,23 @@
+"""Serving layer: cross-game batched evaluation at scale.
+
+Where :mod:`repro.parallel` parallelises *one* search tree, this package
+multiplexes many concurrent games through a single accelerator queue so
+batch occupancy scales with the number of games (the stepping stone from
+single-game self-play to request-serving):
+
+- :mod:`repro.serving.cache`  -- LRU evaluation cache keyed by
+  :meth:`repro.games.base.Game.canonical_key`; a hit never reaches the
+  accelerator.
+- :mod:`repro.serving.engine` -- :class:`MultiGameSelfPlayEngine`, the
+  G-games-one-queue orchestrator with round-level serving statistics.
+"""
+
+from repro.serving.cache import CachingEvaluator, EvaluationCache
+from repro.serving.engine import MultiGameSelfPlayEngine, ServingStats
+
+__all__ = [
+    "CachingEvaluator",
+    "EvaluationCache",
+    "MultiGameSelfPlayEngine",
+    "ServingStats",
+]

@@ -1,0 +1,241 @@
+"""Cross-game batched self-play engine.
+
+The paper's accelerator queue (Section 3.3) accumulates leaf-evaluation
+requests and flushes them as one batched DNN inference -- but fed by a
+single game's search tree, occupancy is capped by that tree's worker
+count and the accelerator starves between moves.  This module multiplexes
+*G concurrent games* through one shared queue:
+
+    game 0 --search--> |                         |
+    game 1 --search--> | EvaluationCache (LRU)   |        batched
+       ...             |   miss ->               | -->  DNN forward
+    game G-1 -------->  |  AcceleratorQueue       |     (one stacked array)
+
+so batch occupancy scales with G rather than per-tree parallelism, and a
+state any game has already evaluated is never sent to the accelerator
+again.  Each game keeps running the unmodified search algorithm -- the
+engine only changes *where* leaf evaluations execute, preserving the
+Section-3.2 program-template property.
+
+As games finish, the engine shrinks the queue's flush threshold to the
+number of still-active games so the tail of the round is not condemned to
+linger-timeout stalls on every request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluator
+from repro.mcts.serial import SerialMCTS
+from repro.parallel.evaluator import BatchingEvaluator
+from repro.serving.cache import CachingEvaluator, EvaluationCache
+from repro.training.selfplay import EpisodeResult, play_episode
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["ServingStats", "MultiGameSelfPlayEngine"]
+
+#: builds one game's search scheme around the shared (cached, batched)
+#: evaluator; anything with ``get_action_prior(game, num_playouts)`` works
+SchemeFactory = Callable[[Evaluator, np.random.Generator], object]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Round-level serving telemetry (what the throughput benchmark reports)."""
+
+    games: int
+    moves: int
+    playouts: int
+    wall_time: float
+    eval_requests: int
+    eval_batches: int
+    mean_batch_occupancy: float
+    partial_flushes: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+
+    @property
+    def games_per_sec(self) -> float:
+        return self.games / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def moves_per_sec(self) -> float:
+        return self.moves / self.wall_time if self.wall_time > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "games": self.games,
+            "moves": self.moves,
+            "playouts": self.playouts,
+            "wall_time": round(self.wall_time, 4),
+            "games_per_sec": round(self.games_per_sec, 3),
+            "moves_per_sec": round(self.moves_per_sec, 3),
+            "eval_requests": self.eval_requests,
+            "eval_batches": self.eval_batches,
+            "mean_batch_occupancy": round(self.mean_batch_occupancy, 3),
+            "partial_flushes": self.partial_flushes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+class MultiGameSelfPlayEngine:
+    """Run G self-play games concurrently over one shared accelerator queue.
+
+    Parameters
+    ----------
+    game : template state; each concurrent game plays from a fresh copy.
+    evaluator : the backing accelerator evaluator (its ``evaluate_batch``
+        receives the accumulated cross-game batches).
+    num_games : G, the number of games multiplexed per round.
+    num_playouts : per-move search budget of every game.
+    scheme_factory : builds each game's search scheme around the shared
+        evaluator; defaults to :class:`SerialMCTS` (one outstanding leaf
+        evaluation per game, so queue occupancy ~ number of active games).
+    batch_size : queue flush threshold; defaults to ``num_games``.
+    cache_capacity : LRU evaluation-cache size (states).
+    linger : queue partial-flush timeout in seconds.
+
+    Use :meth:`play_round` for episodes + stats, or :meth:`close` /
+    context-manager form to release the game-thread pool.
+    """
+
+    def __init__(
+        self,
+        game: Game,
+        evaluator: Evaluator,
+        num_games: int = 8,
+        num_playouts: int = 50,
+        scheme_factory: SchemeFactory | None = None,
+        batch_size: int | None = None,
+        cache_capacity: int = 8192,
+        linger: float = 0.002,
+        temperature_moves: int = 8,
+        temperature: float = 1.0,
+        max_moves: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_games < 1:
+            raise ValueError("num_games must be >= 1")
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        self.game = game
+        self.num_games = num_games
+        self.num_playouts = num_playouts
+        self.scheme_factory = scheme_factory or (
+            lambda ev, game_rng: SerialMCTS(ev, rng=game_rng)
+        )
+        self.temperature_moves = temperature_moves
+        self.temperature = temperature
+        self.max_moves = max_moves
+        self.rng = new_rng(rng)
+
+        self.cache = EvaluationCache(cache_capacity)
+        self._round_batch_size = batch_size or num_games
+        self.batching = BatchingEvaluator(
+            evaluator, self._round_batch_size, linger=linger
+        )
+        #: the shared accelerator queue all games feed
+        self.queue = self.batching.queue
+        #: what each game's scheme actually evaluates against
+        self.shared_evaluator: Evaluator = CachingEvaluator(
+            self.batching, self.cache
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._active_lock = threading.Lock()
+        self._active_games = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_games, thread_name_prefix="selfplay-game"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "MultiGameSelfPlayEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- play ---------------------------------------------------------------
+    def _play_one(self, game_rng: np.random.Generator) -> EpisodeResult:
+        scheme = self.scheme_factory(self.shared_evaluator, game_rng)
+        try:
+            return play_episode(
+                self.game,
+                scheme,
+                self.num_playouts,
+                temperature_moves=self.temperature_moves,
+                temperature=self.temperature,
+                max_moves=self.max_moves,
+                rng=game_rng,
+            )
+        finally:
+            close = getattr(scheme, "close", None)
+            if close is not None:
+                close()
+            with self._active_lock:
+                self._active_games -= 1
+                active = self._active_games
+            if active > 0:
+                # shrink_batch_size is an atomic min, so near-simultaneous
+                # finishes applying out of order can only over-shrink (fixed
+                # by the round-start reset), never strand the remaining
+                # producers above their headcount -- and any inline flush it
+                # triggers runs outside _active_lock.
+                self.queue.shrink_batch_size(active)
+
+    def play_round(self) -> tuple[list[EpisodeResult], ServingStats]:
+        """Play ``num_games`` episodes concurrently; returns them with the
+        round's serving statistics (throughput, occupancy, cache rates)."""
+        pool = self._ensure_pool()
+        rngs = spawn_rngs(self.rng, self.num_games)
+        base_requests = self.queue.requests_served
+        base_batches = self.queue.batches_flushed
+        base_partial = self.queue.partial_flushes
+        base_hits = self.cache.hits
+        base_misses = self.cache.misses
+        with self._active_lock:
+            self._active_games = self.num_games
+        # restore the full threshold (a previous round's tail shrank it)
+        self.queue.set_batch_size(self._round_batch_size)
+
+        t0 = time.perf_counter()
+        results = list(pool.map(self._play_one, rngs))
+        wall = time.perf_counter() - t0
+
+        requests = self.queue.requests_served - base_requests
+        batches = self.queue.batches_flushed - base_batches
+        hits = self.cache.hits - base_hits
+        misses = self.cache.misses - base_misses
+        stats = ServingStats(
+            games=len(results),
+            moves=sum(r.moves for r in results),
+            playouts=sum(r.total_playouts for r in results),
+            wall_time=wall,
+            eval_requests=requests,
+            eval_batches=batches,
+            mean_batch_occupancy=requests / batches if batches else 0.0,
+            partial_flushes=self.queue.partial_flushes - base_partial,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        )
+        return results, stats

@@ -29,13 +29,37 @@ class LossPoint:
 
 @dataclass
 class TrainingMetrics:
-    """Accumulates what Figures 6 and 7 plot."""
+    """Accumulates what Figures 6 and 7 plot, plus serving-layer counters
+    (evaluation-cache hit/miss totals and accelerator-batch occupancy) when
+    self-play runs through the multi-game engine."""
 
     loss_history: list[LossPoint] = field(default_factory=list)
     samples_produced: int = 0
     search_time: float = 0.0
     train_time: float = 0.0
     episodes: int = 0
+    # -- serving-layer counters (multi-game engine rounds) ------------------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    eval_requests: int = 0
+    eval_batches: int = 0
+
+    def record_serving(self, stats) -> None:
+        """Fold one engine round's :class:`repro.serving.engine.ServingStats`
+        into the running totals."""
+        self.cache_hits += stats.cache_hits
+        self.cache_misses += stats.cache_misses
+        self.eval_requests += stats.eval_requests
+        self.eval_batches += stats.eval_batches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        return self.eval_requests / self.eval_batches if self.eval_batches else 0.0
 
     def record_loss(
         self, time: float, episode: int, step: int, total: float,

@@ -15,7 +15,7 @@ without the paper's hardware.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.training.metrics import TrainingMetrics
 from repro.training.selfplay import play_episode
 from repro.training.trainer import Trainer
 from repro.utils.rng import new_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> selfplay)
+    from repro.serving.engine import MultiGameSelfPlayEngine
 
 __all__ = ["WallClock", "VirtualClock", "TrainingPipeline"]
 
@@ -94,7 +97,15 @@ class VirtualClock:
 
 
 class TrainingPipeline:
-    """Algorithm 1 driver."""
+    """Algorithm 1 driver.
+
+    Data collection runs either single-game (*scheme* plays one episode per
+    iteration, the paper's Algorithm 1) or multi-game: pass *engine* (a
+    :class:`repro.serving.engine.MultiGameSelfPlayEngine`) and every
+    iteration collects a whole concurrent round of G episodes through the
+    shared accelerator queue, folding the round's cache/occupancy counters
+    into :attr:`metrics`.
+    """
 
     def __init__(
         self,
@@ -110,6 +121,7 @@ class TrainingPipeline:
         clock: WallClock | VirtualClock | None = None,
         rng: np.random.Generator | int | None = None,
         augment_symmetries: bool = True,
+        engine: "MultiGameSelfPlayEngine | None" = None,
     ) -> None:
         if sgd_iterations < 0:
             raise ValueError("sgd_iterations must be >= 0")
@@ -127,30 +139,63 @@ class TrainingPipeline:
         self.max_moves = max_moves
         self.clock = clock or WallClock()
         self.augment_symmetries = augment_symmetries
+        if engine is not None:
+            # the engine carries its own copies of the episode knobs; a
+            # silent mismatch would collect data at settings the pipeline's
+            # attributes misreport
+            for attr in ("num_playouts", "temperature_moves", "max_moves"):
+                ours, theirs = getattr(self, attr), getattr(engine, attr)
+                if ours != theirs:
+                    raise ValueError(
+                        f"engine.{attr}={theirs!r} disagrees with "
+                        f"pipeline {attr}={ours!r}"
+                    )
+            if (
+                type(engine.game) is not type(game)
+                or engine.game.board_shape != game.board_shape
+                or engine.game.action_size != game.action_size
+            ):
+                raise ValueError(
+                    f"engine plays {engine.game!r} but the pipeline expects "
+                    f"{game!r}; symmetry augmentation and the buffer shapes "
+                    f"would not match"
+                )
+        self.engine = engine
         self.metrics = TrainingMetrics()
 
     def run_episode(self) -> None:
-        """One data-collection episode followed by the SGD stage."""
+        """One data-collection step (an episode, or a multi-game round when
+        an engine is attached) followed by the SGD stage."""
         t0 = time.perf_counter()
-        episode = play_episode(
-            self.game,
-            self.scheme,
-            self.num_playouts,
-            temperature_moves=self.temperature_moves,
-            max_moves=self.max_moves,
-            rng=self.rng,
+        if self.engine is not None:
+            episodes, stats = self.engine.play_round()
+            wall_search = stats.wall_time
+            self.metrics.record_serving(stats)
+        else:
+            episodes = [
+                play_episode(
+                    self.game,
+                    self.scheme,
+                    self.num_playouts,
+                    temperature_moves=self.temperature_moves,
+                    max_moves=self.max_moves,
+                    rng=self.rng,
+                )
+            ]
+            wall_search = time.perf_counter() - t0
+        modelled = self.clock.charge_search(
+            sum(e.total_playouts for e in episodes)
         )
-        wall_search = time.perf_counter() - t0
-        modelled = self.clock.charge_search(episode.total_playouts)
         self.metrics.search_time += modelled if modelled > 0 else wall_search
-        self.metrics.samples_produced += episode.moves
-        self.metrics.episodes += 1
+        self.metrics.samples_produced += sum(e.moves for e in episodes)
+        self.metrics.episodes += len(episodes)
 
-        for example in episode.examples:
-            if self.augment_symmetries:
-                self.buffer.add_with_symmetries(self.game, example)
-            else:
-                self.buffer.add(example)
+        for episode in episodes:
+            for example in episode.examples:
+                if self.augment_symmetries:
+                    self.buffer.add_with_symmetries(self.game, example)
+                else:
+                    self.buffer.add(example)
 
         if len(self.buffer) == 0 or self.sgd_iterations == 0:
             return
@@ -169,6 +214,11 @@ class TrainingPipeline:
         wall_train = time.perf_counter() - t1
         modelled = self.clock.charge_train(self.sgd_iterations)
         self.metrics.train_time += modelled if modelled > 0 else wall_train
+        if self.engine is not None:
+            # SGD just updated the network the engine evaluates with;
+            # cached evaluations are now stale and must not leak into the
+            # next round's self-play data.
+            self.engine.cache.clear()
 
     def run(
         self,

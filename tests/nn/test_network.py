@@ -166,3 +166,56 @@ class TestPersistence:
         other.load(path)
         x = np.random.default_rng(3).random((1, 4, 3, 3))
         assert np.allclose(net.predict(x).logits, other.predict(x).logits)
+
+
+class TestPredictBatch:
+    def test_matches_per_state_mask_and_normalize(self):
+        """The vectorised batched path must agree exactly with the scalar
+        mask_and_normalize reference applied row by row."""
+        from repro.games import TicTacToe
+        from repro.mcts.evaluation import mask_and_normalize
+
+        games = [TicTacToe()]
+        for moves in ((0,), (0, 4), (0, 4, 8), (1, 3, 5, 7)):
+            g = TicTacToe()
+            for m in moves:
+                g.step(m)
+            games.append(g)
+        net = PolicyValueNet(board_size=3, channels=(2, 4, 4), rng=12)
+        states = np.stack([g.encode() for g in games])
+        masks = np.stack([g.legal_mask() for g in games])
+
+        out = net.predict_batch(states, masks)
+        raw = net.predict(states)
+        assert np.allclose(out.value, raw.value)
+        for i, g in enumerate(games):
+            expected = mask_and_normalize(raw.policy[i], masks[i])
+            assert np.allclose(out.policy[i], expected)
+            assert np.isclose(out.policy[i].sum(), 1.0)
+            assert (out.policy[i][~masks[i]] == 0).all()
+
+    def test_no_mask_is_plain_predict(self):
+        net = PolicyValueNet(board_size=3, channels=(2, 2, 2), rng=13)
+        x = np.random.default_rng(0).random((4, 4, 3, 3))
+        assert np.allclose(net.predict_batch(x).policy, net.predict(x).policy)
+
+    def test_degenerate_rows_fall_back_to_uniform(self):
+        """Rows whose legal mass underflows renormalise uniformly over the
+        legal set -- per row, without disturbing healthy rows."""
+
+        net = PolicyValueNet(board_size=3, channels=(2, 2, 2), rng=14)
+        x = np.random.default_rng(1).random((2, 4, 3, 3))
+        # row 0: only cells {0, 1} legal; row 1: everything legal
+        masks = np.zeros((2, 9), dtype=bool)
+        masks[0, :2] = True
+        masks[1, :] = True
+        out = net.predict_batch(x, masks)
+        assert np.isclose(out.policy[0].sum(), 1.0)
+        assert np.isclose(out.policy[1].sum(), 1.0)
+        assert (out.policy[0][2:] == 0).all()
+
+    def test_mask_shape_mismatch_raises(self):
+        net = PolicyValueNet(board_size=3, channels=(2, 2, 2), rng=15)
+        x = np.random.default_rng(2).random((2, 4, 3, 3))
+        with np.testing.assert_raises(ValueError):
+            net.predict_batch(x, np.ones((3, 9), dtype=bool))

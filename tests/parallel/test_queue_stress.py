@@ -1,0 +1,179 @@
+"""Concurrency stress tests for the accelerator queue (Section 3.3).
+
+The queue is the serving layer's single point of convergence: every
+worker of every concurrent game blocks on it.  These tests hammer it from
+many threads with batch sizes that never divide the request count evenly,
+so correctness depends on the linger-timeout partial flush (no request may
+be stranded at a move tail) and on the statistics counters being updated
+under the lock (unsynchronised ``+=`` loses increments when flushes run
+concurrently on producer threads -- the race the counters assertion
+guards).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.evaluation import UniformEvaluator
+from repro.parallel.evaluator import AcceleratorQueue
+
+
+class SlowEvaluator(UniformEvaluator):
+    """Uniform evaluator with a deliberate stall inside evaluate_batch to
+    widen race windows between concurrent flushers."""
+
+    def __init__(self, delay: float = 0.0005) -> None:
+        self.delay = delay
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def evaluate_batch(self, games):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay)
+        return super().evaluate_batch(games)
+
+
+def hammer(queue: AcceleratorQueue, num_threads: int, per_thread: int) -> list:
+    """Drive evaluate_blocking from *num_threads* producers; returns all
+    evaluations.  Joins with a timeout so a deadlock fails the test instead
+    of hanging the suite."""
+    results: list = []
+    errors: list = []
+    lock = threading.Lock()
+
+    def producer():
+        for _ in range(per_thread):
+            try:
+                ev = queue.evaluate_blocking(TicTacToe())
+            except Exception as err:  # pragma: no cover - failure path
+                with lock:
+                    errors.append(err)
+                return
+            with lock:
+                results.append(ev)
+
+    threads = [threading.Thread(target=producer) for _ in range(num_threads)]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + 60.0
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    assert not any(t.is_alive() for t in threads), "queue deadlocked"
+    assert not errors, errors
+    return results
+
+
+class TestQueueStress:
+    def test_sixteen_producers_indivisible_batch(self):
+        """16 threads x 25 requests with threshold 7 (400 % 7 != 0): every
+        future resolves and the counters account for every request."""
+        evaluator = SlowEvaluator()
+        q = AcceleratorQueue(evaluator, batch_size=7, linger=0.002)
+        results = hammer(q, num_threads=16, per_thread=25)
+        total = 16 * 25
+        assert len(results) == total
+        assert q.requests_served == total  # exact: counters are lock-guarded
+        assert q.batches_flushed == evaluator.calls
+        assert q.pending_count == 0
+        assert q.batches_flushed >= total // 7
+
+    def test_move_tail_resolves_via_linger(self):
+        """Fewer producers than the threshold: only the linger flush can
+        ever resolve them -- the move-tail no-deadlock property."""
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=64, linger=0.005)
+        results = hammer(q, num_threads=3, per_thread=2)
+        assert len(results) == 6
+        assert q.requests_served == 6
+        assert q.partial_flushes >= 1  # the tail went out below threshold
+
+    def test_partial_flush_counter_on_uneven_tail(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=4, linger=0.002)
+        hammer(q, num_threads=2, per_thread=3)  # 6 = 4 + tail of 2
+        assert q.requests_served == 6
+        assert q.partial_flushes >= 1
+
+    def test_concurrent_shrink_while_hammering(self):
+        """set_batch_size during traffic (the engine's end-of-round shrink)
+        must neither strand nor double-serve requests."""
+        evaluator = SlowEvaluator()
+        q = AcceleratorQueue(evaluator, batch_size=8, linger=0.002)
+        stop = threading.Event()
+
+        def shrinker():
+            size = 8
+            while not stop.is_set():
+                size = 2 if size == 8 else 8
+                q.set_batch_size(size)
+                time.sleep(0.001)
+
+        t = threading.Thread(target=shrinker)
+        t.start()
+        try:
+            results = hammer(q, num_threads=8, per_thread=20)
+        finally:
+            stop.set()
+            t.join(timeout=10.0)
+        assert len(results) == 160
+        assert q.requests_served == 160
+
+    def test_shrink_is_monotone_and_commutative(self):
+        """Out-of-order shrinks (two games finishing near-simultaneously)
+        may only lower the threshold, so the tail can never be stranded
+        waiting on more producers than remain."""
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=8, linger=0.002)
+        q.shrink_batch_size(2)  # "later" shrink lands first
+        q.shrink_batch_size(5)  # stale earlier value must not raise it back
+        assert q.batch_size == 2
+        fut_a = q.submit(TicTacToe())
+        fut_b = q.submit(TicTacToe())  # second submit meets threshold 2
+        assert fut_a.done() and fut_b.done()
+        q.set_batch_size(8)  # explicit reset is still allowed to raise
+        assert q.batch_size == 8
+        with pytest.raises(ValueError):
+            q.shrink_batch_size(0)
+
+    def test_shrink_flushes_meeting_backlog(self):
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=8, linger=0.002)
+        futures = [q.submit(TicTacToe()) for _ in range(3)]
+        assert not any(f.done() for f in futures)
+        q.shrink_batch_size(3)  # backlog now meets the threshold
+        assert all(f.done() for f in futures)
+
+    def test_exception_during_storm_reaches_every_waiter(self):
+        class Flaky(UniformEvaluator):
+            def evaluate_batch(self, games):
+                raise RuntimeError("device lost")
+
+        q = AcceleratorQueue(Flaky(), batch_size=3, linger=0.002)
+        errors = []
+        lock = threading.Lock()
+
+        def producer():
+            try:
+                q.evaluate_blocking(TicTacToe())
+            except RuntimeError as err:
+                with lock:
+                    errors.append(err)
+
+        threads = [threading.Thread(target=producer) for _ in range(9)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+        assert len(errors) == 9
+
+    @pytest.mark.slow
+    def test_sustained_storm_nightly(self):
+        """Nightly-lane scale: more threads, more rounds, slower device."""
+        evaluator = SlowEvaluator(delay=0.001)
+        q = AcceleratorQueue(evaluator, batch_size=13, linger=0.002)
+        results = hammer(q, num_threads=24, per_thread=50)
+        total = 24 * 50
+        assert len(results) == total
+        assert q.requests_served == total
+        assert q.batches_flushed == evaluator.calls
+        assert q.mean_batch_occupancy > 1.0

@@ -1,0 +1,122 @@
+"""Section-3.2 program-template invariant: serial parity of every scheme.
+
+"A single program template that allows compile-time adaptive selection of
+parallel implementations" only works if every parallel scheme runs the
+*same algorithm* as the serial baseline and differs purely in scheduling.
+Degenerate the scheduling away -- one worker, no virtual loss, a fixed
+RNG seed, no root noise -- and every scheme in :mod:`repro.parallel` must
+produce root visit counts *identical* to :class:`repro.mcts.serial.SerialMCTS`.
+
+This pins the invariant down before further refactors of the search
+layers; any divergence here means a scheme silently changed the algorithm,
+not just its parallel schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.games import SyntheticTreeGame, TicTacToe, build_network_for
+from repro.mcts.evaluation import NetworkEvaluator, UniformEvaluator
+from repro.mcts.node import Node
+from repro.mcts.serial import SerialMCTS
+from repro.mcts.virtual_loss import NoVirtualLoss
+from repro.parallel import (
+    LeafParallelMCTS,
+    LocalTreeMCTS,
+    LockFreeSharedTreeMCTS,
+    RootParallelMCTS,
+    SharedTreeMCTS,
+    SpeculativeMCTS,
+)
+
+PLAYOUTS = 60
+C_PUCT = 5.0
+
+
+def make_games():
+    return {
+        "tictactoe": lambda: TicTacToe(),
+        "synthetic": lambda: SyntheticTreeGame(
+            fanout=4, depth_limit=6, board_size=5, seed=7
+        ),
+    }
+
+
+def scheme_factories(evaluator):
+    """Every parallel scheme, degenerated to serial scheduling: 1 worker,
+    no virtual loss, dirichlet off (the default), fixed seed."""
+    no_vl = NoVirtualLoss()
+    return {
+        "shared_tree": lambda: SharedTreeMCTS(
+            evaluator, num_workers=1, c_puct=C_PUCT, vl_policy=no_vl, rng=0
+        ),
+        "lock_free": lambda: LockFreeSharedTreeMCTS(
+            evaluator, num_workers=1, c_puct=C_PUCT, vl_policy=no_vl, rng=0
+        ),
+        "local_tree": lambda: LocalTreeMCTS(
+            evaluator, num_workers=1, batch_size=1, c_puct=C_PUCT,
+            vl_policy=no_vl, rng=0,
+        ),
+        "leaf_parallel": lambda: LeafParallelMCTS(
+            evaluator, num_workers=1, c_puct=C_PUCT, rng=0
+        ),
+        "root_parallel": lambda: RootParallelMCTS(
+            evaluator, num_workers=1, c_puct=C_PUCT, rng=0
+        ),
+        # draft == main: speculation corrections are exact no-ops, so the
+        # sequential in-tree semantics must reduce to serial exactly
+        "speculative": lambda: SpeculativeMCTS(
+            evaluator, evaluator, num_workers=1, c_puct=C_PUCT, rng=0
+        ),
+    }
+
+
+def root_visits(root: Node, action_size: int) -> np.ndarray:
+    visits = np.zeros(action_size, dtype=np.int64)
+    for action, child in root.children.items():
+        visits[action] = child.visit_count
+    return visits
+
+
+def serial_reference(game, evaluator) -> np.ndarray:
+    engine = SerialMCTS(evaluator, c_puct=C_PUCT, rng=0)
+    root = engine.search(game.copy(), PLAYOUTS)
+    return root_visits(root, game.action_size)
+
+
+@pytest.mark.parametrize("game_name", sorted(make_games()))
+@pytest.mark.parametrize("scheme_name", sorted(scheme_factories(None)))
+def test_scheme_matches_serial_visit_counts(game_name, scheme_name):
+    game = make_games()[game_name]()
+    evaluator = UniformEvaluator()
+    expected = serial_reference(game, evaluator)
+
+    scheme = scheme_factories(evaluator)[scheme_name]()
+    try:
+        root = scheme.search(game.copy(), PLAYOUTS)
+    finally:
+        scheme.close()
+    actual = root_visits(root, game.action_size)
+    np.testing.assert_array_equal(
+        actual, expected,
+        err_msg=f"{scheme_name} diverged from serial on {game_name}",
+    )
+
+
+@pytest.mark.parametrize("scheme_name", sorted(scheme_factories(None)))
+def test_scheme_matches_serial_action_prior_with_network(scheme_name):
+    """Same invariant through a real (deterministic) DNN evaluator, checked
+    on the get_action_prior surface the training loop consumes."""
+    game = TicTacToe()
+    net = build_network_for(game, channels=(2, 4, 4), rng=3)
+    evaluator = NetworkEvaluator(net)
+    expected = SerialMCTS(evaluator, c_puct=C_PUCT, rng=0).get_action_prior(
+        game.copy(), PLAYOUTS
+    )
+
+    scheme = scheme_factories(evaluator)[scheme_name]()
+    try:
+        prior = scheme.get_action_prior(game.copy(), PLAYOUTS)
+    finally:
+        scheme.close()
+    np.testing.assert_allclose(prior, expected, atol=1e-12)

@@ -1,0 +1,169 @@
+"""Evaluation-cache correctness: hit fidelity, eviction, counter algebra."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.games import ConnectFour, Gomoku, SyntheticTreeGame, TicTacToe, build_network_for
+from repro.mcts.evaluation import NetworkEvaluator, UniformEvaluator
+from repro.serving import CachingEvaluator, EvaluationCache
+
+
+class CountingEvaluator(UniformEvaluator):
+    def __init__(self):
+        self.calls = 0
+
+    def evaluate(self, game):
+        self.calls += 1
+        return super().evaluate(game)
+
+    def evaluate_batch(self, games):
+        self.calls += len(games)
+        return [UniformEvaluator.evaluate(self, g) for g in games]
+
+
+class TestCanonicalKey:
+    @pytest.mark.parametrize(
+        "make",
+        [TicTacToe, lambda: Gomoku(6, 4), ConnectFour,
+         lambda: SyntheticTreeGame(fanout=3, depth_limit=5, board_size=5)],
+        ids=["tictactoe", "gomoku", "connect4", "synthetic"],
+    )
+    def test_key_tracks_state(self, make):
+        game = make()
+        fresh = make()
+        assert game.canonical_key() == fresh.canonical_key()
+        game.step(int(game.legal_actions()[0]))
+        assert game.canonical_key() != fresh.canonical_key()
+        # a copy is the same state -> same key
+        assert game.canonical_key() == game.copy().canonical_key()
+
+    def test_same_cells_different_last_move_differ(self):
+        # Transpositions reaching the same board by different move orders
+        # have different last-move planes, so their keys must differ too.
+        a, b = TicTacToe(), TicTacToe()
+        for move in (0, 4, 8):
+            a.step(move)
+        for move in (8, 4, 0):
+            b.step(move)
+        assert not np.array_equal(a.encode(), b.encode())
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_base_default_key(self):
+        # the Game-level fallback (encode-derived) also tracks state
+        game = TicTacToe()
+        base_key = super(TicTacToe, game).canonical_key()
+        game2 = TicTacToe()
+        assert base_key == super(TicTacToe, game2).canonical_key()
+        game2.step(3)
+        assert base_key != super(TicTacToe, game2).canonical_key()
+
+
+class TestEvaluationCache:
+    def test_hit_equals_fresh_evaluation(self):
+        """A cache hit must be indistinguishable from re-running the DNN."""
+        game = TicTacToe()
+        game.step(4)
+        net = build_network_for(game, channels=(2, 4, 4), rng=0)
+        evaluator = NetworkEvaluator(net)
+        cached_eval = CachingEvaluator(evaluator, EvaluationCache(16))
+
+        first = cached_eval.evaluate(game)
+        hit = cached_eval.evaluate(game.copy())  # same state, fresh object
+        fresh = evaluator.evaluate(game)
+        np.testing.assert_array_equal(hit.priors, fresh.priors)
+        assert hit.value == fresh.value
+        assert cached_eval.cache.hits == 1
+
+    def test_eviction_respects_capacity(self):
+        cache = EvaluationCache(capacity=3)
+        games = []
+        game = SyntheticTreeGame(fanout=4, depth_limit=10, board_size=5)
+        ev = UniformEvaluator().evaluate(game)
+        for step in range(5):
+            games.append(game.copy())
+            cache.put(game, ev)
+            game.step(step % 4)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        # LRU order: the two oldest states fell out, the newest remain
+        assert cache.get(games[0]) is None
+        assert cache.get(games[1]) is None
+        assert cache.get(games[4]) is not None
+
+    def test_lru_refresh_on_lookup(self):
+        cache = EvaluationCache(capacity=2)
+        ev = UniformEvaluator().evaluate(TicTacToe())
+        a, b, c = TicTacToe(), TicTacToe(), TicTacToe()
+        b.step(0)
+        c.step(1)
+        cache.put(a, ev)
+        cache.put(b, ev)
+        assert cache.get(a) is not None  # a is now most-recently used
+        cache.put(c, ev)  # evicts b, not a
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+
+    def test_counter_algebra(self):
+        """hits + misses == lookups, and every request either hit the cache
+        or reached the backing evaluator."""
+        backing = CountingEvaluator()
+        cached = CachingEvaluator(backing, EvaluationCache(64))
+        game = SyntheticTreeGame(fanout=3, depth_limit=8, board_size=5)
+        states = []
+        for step in range(6):
+            states.append(game.copy())
+            game.step(step % 3)
+        requests = 0
+        for _ in range(4):
+            for s in states:
+                cached.evaluate(s)
+                requests += 1
+        cache = cached.cache
+        assert cache.hits + cache.misses == cache.lookups == requests
+        assert backing.calls == cache.misses  # only misses reach the backend
+        assert requests == backing.calls + cache.hits
+        assert cache.hit_rate == cache.hits / requests
+
+    def test_batch_path_partitions_hits_and_misses(self):
+        backing = CountingEvaluator()
+        cached = CachingEvaluator(backing, EvaluationCache(64))
+        a, b, c = TicTacToe(), TicTacToe(), TicTacToe()
+        b.step(0)
+        c.step(1)
+        cached.evaluate(a)  # prime one state
+        evals = cached.evaluate_batch([a, b, c, a])
+        assert len(evals) == 4
+        assert backing.calls == 1 + 2  # prime + the two cold states
+        np.testing.assert_array_equal(evals[0].priors, evals[3].priors)
+        # results line up with their request, not with cache order
+        assert evals[1].priors[0] == 0.0  # b: cell 0 occupied
+        assert evals[2].priors[0] > 0.0  # c: cell 0 free
+
+    def test_thread_safety_of_counters(self):
+        cache = EvaluationCache(capacity=128)
+        cached = CachingEvaluator(UniformEvaluator(), cache)
+        states = []
+        game = SyntheticTreeGame(fanout=4, depth_limit=12, board_size=5)
+        for step in range(10):
+            states.append(game.copy())
+            game.step(step % 4)
+
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [cached.evaluate(s) for s in states * (per_thread // 10)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not any(t.is_alive() for t in threads)
+        assert cache.hits + cache.misses == 8 * per_thread
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(capacity=0)
