@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect data with G concurrent games per iteration (shared "
              "accelerator queue + evaluation cache)",
     )
+    p_train.add_argument(
+        "--tree-backend", default="array", choices=["node", "array"],
+        help="search-tree storage: heap Node objects or the vectorised "
+             "structure-of-arrays backend (default)",
+    )
 
     p_sp = sub.add_parser(
         "selfplay", help="multi-game batched self-play round (serving engine)"
@@ -86,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument("--rounds", type=int, default=1)
     p_sp.add_argument("--cache-capacity", type=int, default=8192)
     p_sp.add_argument("--seed", type=int, default=0)
+    p_sp.add_argument(
+        "--tree-backend", default="array", choices=["node", "array"],
+        help="search-tree storage for the per-game serial searches",
+    )
     return parser
 
 
@@ -166,7 +175,8 @@ def cmd_train(args) -> int:
             num_playouts=args.playouts, max_moves=max_moves,
             # same root exploration noise as the single-game path
             scheme_factory=lambda ev, game_rng: SerialMCTS(
-                ev, dirichlet_epsilon=0.25, rng=game_rng
+                ev, dirichlet_epsilon=0.25, rng=game_rng,
+                tree_backend=args.tree_backend,
             ),
             rng=args.seed + 1,
         )
@@ -174,7 +184,7 @@ def cmd_train(args) -> int:
         scheme = LocalTreeMCTS(
             evaluator, num_workers=args.workers,
             batch_size=max(1, args.workers // 2), dirichlet_epsilon=0.25,
-            rng=args.seed + 1,
+            rng=args.seed + 1, tree_backend=args.tree_backend,
         )
     trainer = Trainer(net, Adam(net.parameters(), lr=2e-3), AlphaZeroLoss(1e-4))
     pipeline = TrainingPipeline(
@@ -214,7 +224,7 @@ def cmd_selfplay(args) -> int:
         game, NetworkEvaluator(net), num_games=args.games,
         num_playouts=args.playouts, cache_capacity=args.cache_capacity,
         max_moves=game.board_shape[0] * game.board_shape[1],
-        rng=args.seed + 1,
+        rng=args.seed + 1, tree_backend=args.tree_backend,
     )
     with engine:
         for r in range(args.rounds):

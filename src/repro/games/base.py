@@ -34,6 +34,11 @@ class Game(abc.ABC):
     #: number of input feature planes produced by :meth:`encode`
     num_planes: int = 4
 
+    #: memoised :meth:`canonical_key`; :meth:`step` resets it after every
+    #: mutation (class-level default so ``__new__``-style copies start
+    #: un-memoised for free)
+    _ckey: tuple | None = None
+
     # -- static shape -------------------------------------------------------
     @property
     @abc.abstractmethod
@@ -55,9 +60,20 @@ class Game(abc.ABC):
     def legal_actions(self) -> np.ndarray:
         """Sorted int array of currently legal action ids."""
 
-    @abc.abstractmethod
     def step(self, action: int) -> None:
-        """Apply *action* in place.  Raises ValueError on illegal moves."""
+        """Apply *action* in place.  Raises ValueError on illegal moves.
+
+        Template method: the game-specific move logic lives in
+        :meth:`_apply_step`; invalidating the memoised
+        :meth:`canonical_key` happens here, centrally, so no concrete
+        game can forget it and silently corrupt the evaluation cache.
+        """
+        self._apply_step(action)
+        self._ckey = None
+
+    @abc.abstractmethod
+    def _apply_step(self, action: int) -> None:
+        """Game-specific move logic (always invoked through :meth:`step`)."""
 
     @abc.abstractmethod
     def copy(self) -> "Game":
@@ -98,11 +114,26 @@ class Game(abc.ABC):
         """Hashable key identifying this state for evaluation caching.
 
         Two states with equal keys must be interchangeable for leaf
-        evaluation: same :meth:`encode` planes, same legal-move mask.  The
-        default derives the key from the encoded planes (which already
+        evaluation: same :meth:`encode` planes, same legal-move mask.
+
+        Memoised on the instance: the serving-layer cache hashes the
+        state on every lookup *and* insert, so without memoisation each
+        leaf pays the full board digest twice.  ``step`` invalidates by
+        resetting ``_ckey``; games customise the digest by overriding
+        :meth:`_compute_canonical_key`, not this method.
+        """
+        key = self._ckey
+        if key is None:
+            key = self._ckey = self._compute_canonical_key()
+        return key
+
+    def _compute_canonical_key(self) -> tuple:
+        """Build the state digest (see :meth:`canonical_key`).
+
+        The default derives the key from the encoded planes (which already
         embed the player-to-move colour plane); concrete games override it
         with a cheaper digest of their raw state so the serving-layer
-        evaluation cache does not pay an encode per lookup.
+        evaluation cache does not pay an encode per computation.
         """
         return (type(self).__qualname__, self.current_player, self.encode().tobytes())
 

@@ -55,7 +55,7 @@ class ConnectFour(Game):
             return np.empty(0, dtype=np.int64)
         return np.flatnonzero(self.heights < self.rows)
 
-    def step(self, action: int) -> None:
+    def _apply_step(self, action: int) -> None:
         if self.is_terminal:
             raise ValueError("game is over")
         if not 0 <= action < self.cols:
@@ -83,6 +83,7 @@ class ConnectFour(Game):
         clone._player = self._player
         clone._winner = self._winner
         clone._last = self._last
+        clone._ckey = self._ckey  # same state, memo stays valid
         return clone
 
     @property
@@ -111,7 +112,7 @@ class ConnectFour(Game):
                 return True
         return False
 
-    def canonical_key(self) -> tuple:
+    def _compute_canonical_key(self) -> tuple:
         return ("connect4", self.rows, self.cols, self.n_in_row, self._player,
                 self._last, self.board.tobytes())
 

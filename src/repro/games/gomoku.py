@@ -67,7 +67,7 @@ class Gomoku(Game):
             return np.empty(0, dtype=np.int64)
         return np.flatnonzero(self.board.ravel() == 0)
 
-    def step(self, action: int) -> None:
+    def _apply_step(self, action: int) -> None:
         if self.is_terminal:
             raise ValueError("game is over")
         if not 0 <= action < self.action_size:
@@ -91,6 +91,7 @@ class Gomoku(Game):
         clone._player = self._player
         clone._winner = self._winner
         clone._moves = self._moves.copy()
+        clone._ckey = self._ckey  # same state, memo stays valid
         return clone
 
     @property
@@ -119,7 +120,7 @@ class Gomoku(Game):
                 return True
         return False
 
-    def canonical_key(self) -> tuple:
+    def _compute_canonical_key(self) -> tuple:
         # The last move feeds plane 2 of encode(), so it is key material.
         return ("gomoku", self.size, self.n_in_row, self._player,
                 self.last_action, self.board.tobytes())

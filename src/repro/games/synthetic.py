@@ -78,7 +78,7 @@ class SyntheticTreeGame(Game):
             return np.empty(0, dtype=np.int64)
         return np.arange(self.fanout, dtype=np.int64)
 
-    def step(self, action: int) -> None:
+    def _apply_step(self, action: int) -> None:
         if self.is_terminal:
             raise ValueError("game is over")
         if not 0 <= action < self.fanout:
@@ -96,6 +96,7 @@ class SyntheticTreeGame(Game):
         clone.depth = self.depth
         clone._hash = self._hash
         clone._player = self._player
+        clone._ckey = self._ckey  # same state, memo stays valid
         return clone
 
     @property
@@ -114,7 +115,7 @@ class SyntheticTreeGame(Game):
             return -1
         return 0
 
-    def canonical_key(self) -> tuple:
+    def _compute_canonical_key(self) -> tuple:
         # The path hash fully determines the encode() planes and the legal
         # move set (uniform fanout), so it is the whole state.
         return ("synthetic", self.fanout, self.size, self.depth, self._hash)

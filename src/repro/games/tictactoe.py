@@ -49,7 +49,7 @@ class TicTacToe(Game):
             return np.empty(0, dtype=np.int64)
         return np.flatnonzero(self.cells == 0)
 
-    def step(self, action: int) -> None:
+    def _apply_step(self, action: int) -> None:
         if self.is_terminal:
             raise ValueError("game is over")
         if not 0 <= action < 9:
@@ -73,6 +73,7 @@ class TicTacToe(Game):
         clone._player = self._player
         clone._winner = self._winner
         clone._last = self._last
+        clone._ckey = self._ckey  # same state, memo stays valid
         return clone
 
     @property
@@ -83,7 +84,7 @@ class TicTacToe(Game):
     def winner(self) -> Player | None:
         return self._winner
 
-    def canonical_key(self) -> tuple:
+    def _compute_canonical_key(self) -> tuple:
         # _last is part of the key: encode() emits a last-move plane.
         return ("ttt", self._player, self._last, self.cells.tobytes())
 

@@ -3,6 +3,10 @@
 This package contains everything the parallel schemes share:
 
 - :mod:`repro.mcts.node`         -- the tree node / edge-statistics struct.
+- :mod:`repro.mcts.arraytree`    -- structure-of-arrays tree backend with
+  vectorised PUCT selection, slab expansion and array-indexed backup.
+- :mod:`repro.mcts.backend`      -- the ``TreeBackend`` seam selecting
+  between the two storage layouts.
 - :mod:`repro.mcts.uct`          -- Equation-1 PUCT selection.
 - :mod:`repro.mcts.virtual_loss` -- constant virtual loss [Chaslot 2008] and
   WU-UCT unobserved-sample tracking [Liu 2020], the two VL styles the paper
@@ -14,6 +18,13 @@ This package contains everything the parallel schemes share:
 - :mod:`repro.mcts.serial`       -- the serial DNN-MCTS baseline.
 """
 
+from repro.mcts.arraytree import ArrayNodeView, ArrayTree
+from repro.mcts.backend import (
+    TreeBackend,
+    capacity_hint,
+    make_root,
+    resolve_backend,
+)
 from repro.mcts.evaluation import (
     Evaluation,
     Evaluator,
@@ -40,6 +51,8 @@ from repro.mcts.virtual_loss import (
 )
 
 __all__ = [
+    "ArrayNodeView",
+    "ArrayTree",
     "ConstantVirtualLoss",
     "Evaluation",
     "Evaluator",
@@ -48,13 +61,17 @@ __all__ = [
     "Node",
     "RandomRolloutEvaluator",
     "SerialMCTS",
+    "TreeBackend",
     "UniformEvaluator",
     "VirtualLossPolicy",
     "WUVirtualLoss",
     "action_prior_from_root",
     "add_dirichlet_noise",
     "backup",
+    "capacity_hint",
     "expand",
+    "make_root",
+    "resolve_backend",
     "sample_action",
     "select_child",
     "select_leaf",

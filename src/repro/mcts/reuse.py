@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.arraytree import ArrayNodeView
+from repro.mcts.backend import TreeBackend, make_root, resolve_backend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -49,13 +51,15 @@ class TreeReuseMCTS:
         evaluator: Evaluator,
         c_puct: float = 5.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if c_puct <= 0:
             raise ValueError("c_puct must be positive")
         self.evaluator = evaluator
         self.c_puct = c_puct
         self.rng = new_rng(rng)
-        self._root: Node | None = None
+        self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
+        self._root: Node | ArrayNodeView | None = None
         #: visits already in the root when a search starts (reused work)
         self.reused_visits = 0
         self.searches = 0
@@ -72,8 +76,14 @@ class TreeReuseMCTS:
         if child is None:
             self._root = None
             return
-        child.parent = None  # detach: the rest of the tree is garbage
-        child.action = -1
+        if isinstance(child, ArrayNodeView):
+            # compact the kept subtree into a fresh tree so the abandoned
+            # siblings (the bulk of the rows) are freed each move instead
+            # of accumulating over the episode
+            child = ArrayNodeView(child.tree.extract_subtree(child.index), 0)
+        else:
+            child.parent = None  # detach: the rest of the tree is garbage
+            child.action = -1
         self._root = child
 
     def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
@@ -87,7 +97,7 @@ class TreeReuseMCTS:
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         if self._root is None:
-            self._root = Node()
+            self._root = make_root(self.tree_backend)
         root = self._root
         self.reused_visits += root.visit_count
         self.searches += 1

@@ -6,6 +6,14 @@ guarantees all schemes run the *same algorithm* and differ only in
 scheduling -- the property the paper's program template provides
 (Section 3.2: "a single program template that allows compile-time adaptive
 selection of parallel implementations").
+
+Each primitive serves both tree backends: a ``Node`` root runs the
+per-object reference path, an :class:`~repro.mcts.arraytree.ArrayNodeView`
+root dispatches to the vectorised :class:`~repro.mcts.arraytree.ArrayTree`
+operations (slab expansion, array-indexed backup, one-``argmax``
+selection).  The two paths are exact-equivalent -- same visit counts,
+same RNG consumption -- which the backend-equivalence property tests
+assert.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.arraytree import ArrayNodeView
 from repro.mcts.evaluation import Evaluation
 from repro.mcts.node import Node
 from repro.mcts.uct import select_child
@@ -31,12 +40,12 @@ _NO_VL = NoVirtualLoss()
 
 
 def select_leaf(
-    root: Node,
+    root: "Node | ArrayNodeView",
     game: Game,
     c_puct: float,
     vl_policy: VirtualLossPolicy | None = None,
     apply_virtual_loss: bool = True,
-) -> tuple[Node, Game, int]:
+) -> tuple["Node | ArrayNodeView", Game, int]:
     """Descend from *root* following Equation 1 until reaching a leaf.
 
     Mutates *game* by executing the corresponding moves (Algorithm 2
@@ -46,6 +55,12 @@ def select_leaf(
     Returns ``(leaf, game_at_leaf, path_length)``.
     """
     vl = vl_policy or _NO_VL
+    if isinstance(root, ArrayNodeView):
+        leaf_row, depth = root.tree.select_to_leaf(
+            root.index, game, c_puct, vl, apply_virtual_loss
+        )
+        leaf = root if leaf_row == root.index else ArrayNodeView(root.tree, leaf_row)
+        return leaf, game, depth
     node = root
     depth = 0
     if apply_virtual_loss:
@@ -61,7 +76,9 @@ def select_leaf(
     return node, game, depth
 
 
-def expand(node: Node, game: Game, evaluation: Evaluation) -> float:
+def expand(
+    node: "Node | ArrayNodeView", game: Game, evaluation: Evaluation
+) -> float:
     """Node Expansion (paper Section 2.1, operation 2).
 
     Creates children for every legal action with priors from the
@@ -79,13 +96,17 @@ def expand(node: Node, game: Game, evaluation: Evaluation) -> float:
     legal = game.legal_actions()
     if len(legal) == 0:
         raise RuntimeError("non-terminal state with no legal actions")
+    if isinstance(node, ArrayNodeView):
+        priors = np.asarray(evaluation.priors, dtype=np.float64)[legal]
+        node.tree.expand(node.index, legal, priors)
+        return float(evaluation.value)
     for a in legal:
         node.add_child(int(a), float(evaluation.priors[a]))
     return float(evaluation.value)
 
 
 def backup(
-    node: Node,
+    node: "Node | ArrayNodeView",
     value: float,
     vl_policy: VirtualLossPolicy | None = None,
     revert_virtual_loss: bool = True,
@@ -98,6 +119,9 @@ def backup(
     way (paper: "VL is recovered later in the BackUp phase").
     """
     vl = vl_policy or _NO_VL
+    if isinstance(node, ArrayNodeView):
+        node.tree.backup(node.index, value, vl, revert_virtual_loss)
+        return
     current: Node | None = node
     v = value
     while current is not None:
@@ -109,10 +133,14 @@ def backup(
         current = current.parent
 
 
-def action_prior_from_root(root: Node, action_size: int) -> np.ndarray:
+def action_prior_from_root(
+    root: "Node | ArrayNodeView", action_size: int
+) -> np.ndarray:
     """Normalised root visit counts (Algorithm 2 line 6 / Algorithm 3
     line 3): the action prior pi used both for move selection and as the
     policy training target."""
+    if isinstance(root, ArrayNodeView):
+        return root.tree.action_prior(root.index, action_size)
     prior = np.zeros(action_size, dtype=np.float64)
     total = 0
     for action, child in root.children.items():
@@ -124,12 +152,15 @@ def action_prior_from_root(root: Node, action_size: int) -> np.ndarray:
 
 
 def add_dirichlet_noise(
-    root: Node,
+    root: "Node | ArrayNodeView",
     rng: np.random.Generator,
     alpha: float = 0.3,
     epsilon: float = 0.25,
 ) -> None:
     """Mix Dirichlet noise into root priors (AlphaZero exploration)."""
+    if isinstance(root, ArrayNodeView):
+        root.tree.add_dirichlet_noise(root.index, rng, alpha, epsilon)
+        return
     if root.is_leaf:
         raise ValueError("expand the root before adding noise")
     actions = sorted(root.children)

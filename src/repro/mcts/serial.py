@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend, capacity_hint, make_root, resolve_backend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -52,6 +53,9 @@ class SerialMCTS:
     c_puct : exploration constant *c* of Equation 1.
     dirichlet_alpha / dirichlet_epsilon : root-noise parameters; set
         ``dirichlet_epsilon=0`` to disable (evaluation-time play).
+    tree_backend : tree storage layout; the array backend (default) runs
+        the identical algorithm over structure-of-arrays storage with
+        vectorised PUCT selection -- exact same visit counts, much faster.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class SerialMCTS:
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if c_puct <= 0:
             raise ValueError("c_puct must be positive")
@@ -71,6 +76,7 @@ class SerialMCTS:
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
+        self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
         self.stats = SearchStats()
 
     def search(self, game: Game, num_playouts: int) -> Node:
@@ -79,7 +85,9 @@ class SerialMCTS:
             raise ValueError("num_playouts must be >= 1")
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = Node()
+        root = make_root(
+            self.tree_backend, capacity_hint(game.action_size, num_playouts)
+        )
         for i in range(num_playouts):
             self._playout(root, game.copy())
             if i == 0 and self.dirichlet_epsilon > 0:

@@ -4,6 +4,14 @@
 
 with virtual-loss-adjusted statistics supplied by a
 :class:`repro.mcts.virtual_loss.VirtualLossPolicy`.
+
+Both tree backends are served here: ``Node`` trees take the per-child
+path below, :class:`repro.mcts.arraytree.ArrayNodeView` handles dispatch
+to the vectorised slab operations.  The ``sqrt`` numerator is derived
+from the parent's *own* counters in both paths (``sum_b N(s,b) == N(s) -
+1`` for any expanded non-terminal node -- see
+:meth:`~repro.mcts.virtual_loss.VirtualLossPolicy.parent_visit_total`),
+so neither backend loops the children twice.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import math
 
 import numpy as np
 
+from repro.mcts.arraytree import ArrayNodeView
 from repro.mcts.node import Node
 from repro.mcts.virtual_loss import NoVirtualLoss, VirtualLossPolicy
 
@@ -21,7 +30,7 @@ _NO_VL = NoVirtualLoss()
 
 
 def uct_scores(
-    node: Node,
+    node: "Node | ArrayNodeView",
     c_puct: float,
     vl_policy: VirtualLossPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -30,13 +39,13 @@ def uct_scores(
     Returns ``(actions, scores)`` as parallel arrays (actions sorted
     ascending for determinism).
     """
+    vl = vl_policy or _NO_VL
+    if isinstance(node, ArrayNodeView):
+        return node.tree.uct_scores(node.index, c_puct, vl)
     if node.is_leaf:
         raise ValueError("uct_scores on an unexpanded node")
-    vl = vl_policy or _NO_VL
     actions = np.array(sorted(node.children), dtype=np.int64)
-    n_parent = sum(
-        vl.effective_stats(node.children[a])[0] for a in actions
-    )
+    n_parent = vl.parent_visit_total(node.visit_count, node.virtual_loss)
     # Floor at 1 so that, before any child has been visited, selection
     # falls back to argmax of the priors instead of degenerating to ties.
     sqrt_parent = math.sqrt(max(n_parent, 1.0))
@@ -49,11 +58,14 @@ def uct_scores(
 
 
 def select_child(
-    node: Node,
+    node: "Node | ArrayNodeView",
     c_puct: float,
     vl_policy: VirtualLossPolicy | None = None,
-) -> Node:
+) -> "Node | ArrayNodeView":
     """Argmax of Equation 1 over *node*'s children (ties -> lowest action)."""
+    if isinstance(node, ArrayNodeView):
+        row = node.tree.select_child_index(node.index, c_puct, vl_policy)
+        return ArrayNodeView(node.tree, row)
     actions, scores = uct_scores(node, c_puct, vl_policy)
     best = int(np.argmax(scores))
     return node.children[int(actions[best])]

@@ -17,11 +17,30 @@ Both styles are expressed through one interface so every search scheme
   (paper: "VL is recovered later in the BackUp phase");
 - :meth:`effective_stats` maps raw (N, W, VL) to the values Equation 1
   should see.
+
+Array API
+---------
+The array-backed tree (:mod:`repro.mcts.arraytree`) never touches nodes
+one at a time, so every policy additionally exposes a vectorised face:
+
+- :attr:`descend_amount` -- the constant added to a node's virtual-loss
+  counter per in-flight traversal (0 disables VL bookkeeping entirely);
+- :meth:`effective_stats_arrays` -- :meth:`effective_stats` over whole
+  child slices at once;
+- :meth:`parent_visit_total` -- the Equation-1 sqrt numerator derived
+  from the *parent's own* counters instead of a per-child sum (every
+  visit to an expanded non-terminal node except the one that expanded it
+  descended into exactly one child, so ``sum_b N(s,b) == N(s) - 1``; the
+  same derivation subtracts the caller's own pending descend from the
+  virtual-loss total).  Both tree backends use this, which is what makes
+  selection O(children) in one numpy expression instead of two passes.
 """
 
 from __future__ import annotations
 
 import abc
+
+import numpy as np
 
 from repro.mcts.node import Node
 
@@ -36,6 +55,15 @@ __all__ = [
 class VirtualLossPolicy(abc.ABC):
     """Strategy interface for discouraging concurrent path collisions."""
 
+    #: treat an unbalanced descend/backup as a bug (overridden per instance
+    #: by the concrete policies; lock-free schemes run non-strict)
+    strict: bool = True
+
+    @property
+    @abc.abstractmethod
+    def descend_amount(self) -> float:
+        """Virtual loss added to a node's counter per in-flight traversal."""
+
     @abc.abstractmethod
     def on_descend(self, node: Node) -> None:
         """Mark *node* as being traversed by an in-flight worker."""
@@ -48,14 +76,35 @@ class VirtualLossPolicy(abc.ABC):
     def effective_stats(self, node: Node) -> tuple[float, float]:
         """Return ``(effective_visits, effective_q)`` for UCT scoring."""
 
-    def effective_parent_visits(self, node: Node) -> float:
-        """Effective visit total used inside the sqrt of Equation 1."""
-        n, _ = self.effective_stats(node)
-        return n
+    @abc.abstractmethod
+    def effective_stats_arrays(
+        self,
+        visit_count: np.ndarray,
+        value_sum: np.ndarray,
+        virtual_loss: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`effective_stats` over parallel stat arrays."""
+
+    def parent_visit_total(self, visit_count: float, virtual_loss: float) -> float:
+        """Equation-1 sqrt numerator from the parent's *own* counters.
+
+        ``sum_b N(s,b) == N(s) - 1`` for any expanded non-terminal node
+        (every backup through the node continued into exactly one child,
+        except the single playout that expanded it), and in-flight
+        traversals past the node are its virtual-loss total minus the
+        caller's own pending descend.  O(1) instead of a per-child sum.
+        """
+        return max(visit_count - 1.0, 0.0) + max(
+            virtual_loss - self.descend_amount, 0.0
+        )
 
 
 class NoVirtualLoss(VirtualLossPolicy):
     """Identity policy: what serial MCTS uses."""
+
+    @property
+    def descend_amount(self) -> float:
+        return 0.0
 
     def on_descend(self, node: Node) -> None:
         pass
@@ -65,6 +114,17 @@ class NoVirtualLoss(VirtualLossPolicy):
 
     def effective_stats(self, node: Node) -> tuple[float, float]:
         return float(node.visit_count), node.q
+
+    def effective_stats_arrays(
+        self,
+        visit_count: np.ndarray,
+        value_sum: np.ndarray,
+        virtual_loss: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = visit_count.astype(np.float64)
+        q = np.zeros_like(n)
+        np.divide(value_sum, n, out=q, where=n > 0)
+        return n, q
 
 
 class ConstantVirtualLoss(VirtualLossPolicy):
@@ -84,6 +144,10 @@ class ConstantVirtualLoss(VirtualLossPolicy):
         #: lock-free schemes set strict=False because racy read-modify-
         #: write updates can legitimately lose increments.
         self.strict = strict
+
+    @property
+    def descend_amount(self) -> float:
+        return self.weight
 
     def on_descend(self, node: Node) -> None:
         node.virtual_loss += self.weight
@@ -106,6 +170,18 @@ class ConstantVirtualLoss(VirtualLossPolicy):
         q_eff = (node.value_sum - vl) / n_eff
         return n_eff, q_eff
 
+    def effective_stats_arrays(
+        self,
+        visit_count: np.ndarray,
+        value_sum: np.ndarray,
+        virtual_loss: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_eff = visit_count + virtual_loss
+        positive = n_eff > 0
+        q_eff = np.zeros_like(n_eff, dtype=np.float64)
+        np.divide(value_sum - virtual_loss, n_eff, out=q_eff, where=positive)
+        return np.where(positive, n_eff, 0.0), q_eff
+
 
 class WUVirtualLoss(VirtualLossPolicy):
     """WU-UCT style: track *unobserved samples* [Liu et al. 2020].
@@ -119,6 +195,10 @@ class WUVirtualLoss(VirtualLossPolicy):
 
     def __init__(self, strict: bool = True) -> None:
         self.strict = strict
+
+    @property
+    def descend_amount(self) -> float:
+        return 1.0
 
     def on_descend(self, node: Node) -> None:
         node.virtual_loss += 1.0
@@ -137,3 +217,14 @@ class WUVirtualLoss(VirtualLossPolicy):
         # Q uses only *observed* outcomes (the "watch the unobserved" rule).
         q = node.q
         return n_eff, q
+
+    def effective_stats_arrays(
+        self,
+        visit_count: np.ndarray,
+        value_sum: np.ndarray,
+        virtual_loss: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = visit_count.astype(np.float64)
+        q = np.zeros_like(n)
+        np.divide(value_sum, n, out=q, where=n > 0)
+        return n + virtual_loss, q

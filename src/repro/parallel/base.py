@@ -14,6 +14,8 @@ import enum
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.arraytree import ArrayNodeView
+from repro.mcts.backend import TreeBackend, capacity_hint, make_root, resolve_backend
 from repro.mcts.node import Node
 
 __all__ = ["SchemeName", "ParallelScheme"]
@@ -33,9 +35,39 @@ class SchemeName(str, enum.Enum):
 
 
 class ParallelScheme(abc.ABC):
-    """A search scheme that turns a game state into an action prior."""
+    """A search scheme that turns a game state into an action prior.
+
+    Every scheme can run over either tree backend (the ``TreeBackend``
+    seam): construct with ``tree_backend="node"`` or ``"array"`` and call
+    :meth:`_make_root` inside :meth:`search`.  Leaf-parallel and the
+    root-parallel serial workers default to the array backend (their
+    in-tree operations are single-threaded, so it is exact and much
+    faster); the remaining schemes default to ``Node`` objects -- the
+    multi-threaded shared-tree family because the array backend is only
+    weakly consistent under concurrent growth, local-tree/speculative
+    purely for reference-implementation conservatism (both are exact on
+    the array backend and accept ``tree_backend="array"``).
+    """
 
     name: SchemeName
+
+    #: resolved storage layout; subclasses assign in ``__init__`` via
+    #: :meth:`_resolve_backend`
+    tree_backend: TreeBackend = TreeBackend.NODE
+
+    def _resolve_backend(
+        self,
+        backend: TreeBackend | str | None,
+        default: TreeBackend = TreeBackend.NODE,
+    ) -> TreeBackend:
+        self.tree_backend = resolve_backend(backend, default)
+        return self.tree_backend
+
+    def _make_root(self, game: Game, num_playouts: int) -> "Node | ArrayNodeView":
+        """Fresh root on the configured backend, sized for one move."""
+        return make_root(
+            self.tree_backend, capacity_hint(game.action_size, num_playouts)
+        )
 
     @abc.abstractmethod
     def search(self, game: Game, num_playouts: int) -> Node:

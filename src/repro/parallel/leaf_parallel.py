@@ -14,6 +14,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -49,6 +50,7 @@ class LeafParallelMCTS(ParallelScheme):
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -60,6 +62,8 @@ class LeafParallelMCTS(ParallelScheme):
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
+        # in-tree operations are serial here, so the array backend is safe
+        self._resolve_backend(tree_backend, TreeBackend.ARRAY)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -80,7 +84,7 @@ class LeafParallelMCTS(ParallelScheme):
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         pool = self._ensure_pool()
-        root = Node()
+        root = self._make_root(game, num_playouts)
         for i in range(num_playouts):
             leaf, leaf_game, _ = select_leaf(
                 root, game.copy(), self.c_puct, apply_virtual_loss=False

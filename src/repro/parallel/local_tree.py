@@ -19,6 +19,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluation, Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -62,6 +63,7 @@ class LocalTreeMCTS(ParallelScheme):
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -79,6 +81,9 @@ class LocalTreeMCTS(ParallelScheme):
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
+        # only the master thread touches the tree (Algorithm 3), so the
+        # array backend is exact here too; Node stays the default
+        self._resolve_backend(tree_backend, TreeBackend.NODE)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -99,7 +104,7 @@ class LocalTreeMCTS(ParallelScheme):
             raise ValueError("num_playouts must be >= 1")
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = Node()
+        root = self._make_root(game, num_playouts)
         evaluation = self.evaluator.evaluate(game)
         expand(root, game, evaluation)
         root.visit_count += 1

@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import action_prior_from_root, add_dirichlet_noise, expand
@@ -54,6 +55,7 @@ class LockFreeSharedTreeMCTS(ParallelScheme):
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -64,6 +66,10 @@ class LockFreeSharedTreeMCTS(ParallelScheme):
         self.c_puct = c_puct
         # non-strict by default: racy updates may lose VL increments
         self.vl_policy = vl_policy or ConstantVirtualLoss(strict=False)
+        # either backend runs in the same weak-consistency regime here;
+        # the array backend additionally races on growth (lost updates,
+        # never corruption -- slab allocation itself is locked)
+        self._resolve_backend(tree_backend, TreeBackend.NODE)
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
@@ -88,7 +94,7 @@ class LockFreeSharedTreeMCTS(ParallelScheme):
             raise ValueError("num_playouts must be >= 1")
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = Node()
+        root = self._make_root(game, num_playouts)
         evaluation = self.evaluator.evaluate(game)
         expand(root, game, evaluation)
         root.visit_count += 1

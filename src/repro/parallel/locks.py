@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.mcts.arraytree import ArrayNodeView
 from repro.mcts.node import Node
 
 __all__ = ["StripedLockTable"]
@@ -26,12 +27,17 @@ class StripedLockTable:
         self.num_stripes = num_stripes
         self._locks = [threading.Lock() for _ in range(num_stripes)]
 
-    def lock_for(self, node: Node) -> threading.Lock:
+    def lock_for(self, node: "Node | ArrayNodeView") -> threading.Lock:
         # id() is stable for the node's lifetime in CPython.  Allocator
         # addresses are pool-aligned (identical low bits for same-sized
         # objects), so a plain multiply-mod collapses onto a handful of
         # stripes; a splitmix64-style avalanche spreads them properly.
-        h = id(node) & 0xFFFFFFFFFFFFFFFF
+        if isinstance(node, ArrayNodeView):
+            # views are transient handles: key by (tree, row) so every
+            # view of the same logical node maps to the same stripe
+            h = (id(node.tree) ^ (node.index * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+        else:
+            h = id(node) & 0xFFFFFFFFFFFFFFFF
         h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
         h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
         h ^= h >> 31

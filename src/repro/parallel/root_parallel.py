@@ -13,6 +13,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.serial import SerialMCTS
@@ -40,6 +41,7 @@ class RootParallelMCTS(ParallelScheme):
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -49,6 +51,8 @@ class RootParallelMCTS(ParallelScheme):
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
+        # each worker owns a private serial tree: array backend is safe
+        self._resolve_backend(tree_backend, TreeBackend.ARRAY)
         self._pool: ThreadPoolExecutor | None = None
         #: roots of the last search, one per worker (exposed for analysis)
         self.last_roots: list[Node] = []
@@ -88,6 +92,7 @@ class RootParallelMCTS(ParallelScheme):
                 dirichlet_alpha=self.dirichlet_alpha,
                 dirichlet_epsilon=self.dirichlet_epsilon,
                 rng=worker_rng,
+                tree_backend=self.tree_backend,
             )
             return engine.search(game, budget)
 

@@ -27,6 +27,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import action_prior_from_root, add_dirichlet_noise, expand
@@ -47,7 +48,12 @@ class SharedTreeMCTS(ParallelScheme):
     evaluator : leaf evaluator; must tolerate concurrent ``evaluate`` calls.
     num_workers : thread-pool size N (each worker owns a full playout).
     vl_policy : virtual-loss style; defaults to constant VL [Chaslot 2008],
-        the paper's primary choice.
+        the paper's primary choice.  The default is built ``strict`` only
+        on the ``Node`` backend: the array backend can lose VL increments
+        during concurrent growth (weak consistency), so a caller-supplied
+        policy combined with ``tree_backend="array"`` and multiple workers
+        should also pass ``strict=False`` -- a strict policy may raise on
+        a legitimately lost increment.
     """
 
     name = SchemeName.SHARED_TREE
@@ -62,6 +68,7 @@ class SharedTreeMCTS(ParallelScheme):
         dirichlet_epsilon: float = 0.0,
         lock_stripes: int = 1024,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -70,7 +77,13 @@ class SharedTreeMCTS(ParallelScheme):
         self.evaluator = evaluator
         self.num_workers = num_workers
         self.c_puct = c_puct
-        self.vl_policy = vl_policy or ConstantVirtualLoss()
+        # Node is the default here: per-object locking keeps the shared
+        # tree exact, while the array backend is weakly consistent under
+        # concurrent growth (acceptable, but opt-in via tree_backend).
+        self._resolve_backend(tree_backend, TreeBackend.NODE)
+        self.vl_policy = vl_policy or ConstantVirtualLoss(
+            strict=self.tree_backend is TreeBackend.NODE
+        )
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.locks = StripedLockTable(lock_stripes)
@@ -96,7 +109,7 @@ class SharedTreeMCTS(ParallelScheme):
             raise ValueError("num_playouts must be >= 1")
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = Node()
+        root = self._make_root(game, num_playouts)
         # Expand the root serially so workers immediately have children to
         # diverge over; this mirrors the paper's episode warm-up and avoids
         # N workers all racing to evaluate the identical root state.

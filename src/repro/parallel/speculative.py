@@ -30,6 +30,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend
 from repro.mcts.evaluation import Evaluation, Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -68,6 +69,7 @@ class SpeculativeMCTS(ParallelScheme):
         dirichlet_alpha: float = 0.3,
         dirichlet_epsilon: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -80,6 +82,9 @@ class SpeculativeMCTS(ParallelScheme):
         self.dirichlet_alpha = dirichlet_alpha
         self.dirichlet_epsilon = dirichlet_epsilon
         self.rng = new_rng(rng)
+        # in-tree operations are strictly sequential (the SpecMCTS
+        # property), so the array backend is exact; Node is the default
+        self._resolve_backend(tree_backend, TreeBackend.NODE)
         self._pool: ThreadPoolExecutor | None = None
         #: corrections applied (observability / the "additional
         #: computations" cost SpecMCTS pays)
@@ -105,7 +110,7 @@ class SpeculativeMCTS(ParallelScheme):
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         pool = self._ensure_pool()
-        root = Node()
+        root = self._make_root(game, num_playouts)
         inflight: dict[Future, tuple[Node, float]] = {}
 
         for i in range(num_playouts):

@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from repro.games.base import Game
+from repro.mcts.backend import TreeBackend, resolve_backend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.serial import SerialMCTS
 from repro.parallel.evaluator import BatchingEvaluator
@@ -105,6 +106,10 @@ class MultiGameSelfPlayEngine:
     batch_size : queue flush threshold; defaults to ``num_games``.
     cache_capacity : LRU evaluation-cache size (states).
     linger : queue partial-flush timeout in seconds.
+    tree_backend : storage layout for the default per-game search trees
+        (array by default -- each game's tree is single-threaded, so the
+        vectorised backend is exact); custom ``scheme_factory`` callables
+        own their backend choice and can read :attr:`tree_backend`.
 
     Use :meth:`play_round` for episodes + stats, or :meth:`close` /
     context-manager form to release the game-thread pool.
@@ -124,6 +129,7 @@ class MultiGameSelfPlayEngine:
         temperature: float = 1.0,
         max_moves: int | None = None,
         rng: np.random.Generator | int | None = None,
+        tree_backend: TreeBackend | str | None = None,
     ) -> None:
         if num_games < 1:
             raise ValueError("num_games must be >= 1")
@@ -132,8 +138,11 @@ class MultiGameSelfPlayEngine:
         self.game = game
         self.num_games = num_games
         self.num_playouts = num_playouts
+        self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
         self.scheme_factory = scheme_factory or (
-            lambda ev, game_rng: SerialMCTS(ev, rng=game_rng)
+            lambda ev, game_rng: SerialMCTS(
+                ev, rng=game_rng, tree_backend=self.tree_backend
+            )
         )
         self.temperature_moves = temperature_moves
         self.temperature = temperature

@@ -1,0 +1,247 @@
+"""Unit tests for the structure-of-arrays tree backend."""
+
+import numpy as np
+import pytest
+
+from repro.games import TicTacToe
+from repro.mcts.arraytree import ArrayNodeView, ArrayTree
+from repro.mcts.backend import TreeBackend, capacity_hint, make_root, resolve_backend
+from repro.mcts.evaluation import UniformEvaluator
+from repro.mcts.node import Node
+from repro.mcts.search import backup, expand
+from repro.mcts.uct import select_child, uct_scores
+from repro.mcts.virtual_loss import ConstantVirtualLoss, NoVirtualLoss
+
+
+def expanded_root(tree: ArrayTree, actions, priors) -> int:
+    root = tree.new_root()
+    tree.expand(root, np.asarray(actions), np.asarray(priors, dtype=np.float64))
+    return root
+
+
+class TestStructure:
+    def test_root_allocation(self):
+        tree = ArrayTree(4)
+        root = tree.new_root()
+        assert root == 0
+        assert tree.is_leaf(root)
+        assert not tree.is_terminal(root)
+        assert len(tree) == 1
+
+    def test_expand_allocates_contiguous_slab(self):
+        tree = ArrayTree(2)
+        root = expanded_root(tree, [2, 5, 7], [0.2, 0.5, 0.3])
+        sl = tree.children_slice(root)
+        assert (sl.start, sl.stop) == (1, 4)
+        np.testing.assert_array_equal(tree.child_actions(root), [2, 5, 7])
+        np.testing.assert_array_equal(tree.parent[sl], [root] * 3)
+        np.testing.assert_allclose(tree.prior[sl], [0.2, 0.5, 0.3])
+
+    def test_growth_preserves_rows(self):
+        tree = ArrayTree(2)  # forces several doublings
+        root = expanded_root(tree, list(range(9)), [1 / 9] * 9)
+        tree.visit_count[3] = 7
+        child = tree.children_slice(root).start
+        tree.expand(child, np.array([1, 2]), np.array([0.6, 0.4]))
+        assert len(tree) == 12
+        assert tree.visit_count[3] == 7  # survived the growth copy
+        np.testing.assert_array_equal(tree.child_actions(child), [1, 2])
+
+    def test_double_expand_raises(self):
+        tree = ArrayTree(4)
+        root = expanded_root(tree, [0, 1], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            tree.expand(root, np.array([2]), np.array([1.0]))
+
+    def test_detach_makes_row_a_root(self):
+        tree = ArrayTree(4)
+        root = expanded_root(tree, [0, 1], [0.5, 0.5])
+        child = tree.children_slice(root).start
+        tree.detach(child)
+        assert tree.parent[child] == -1
+        assert ArrayNodeView(tree, child).is_root
+
+    def test_extract_subtree_compacts_and_preserves_stats(self):
+        g = TicTacToe()
+        ev = UniformEvaluator()
+        from repro.mcts.serial import SerialMCTS
+
+        root = SerialMCTS(ev, rng=0, tree_backend="array").search(g, 120)
+        child = root.children[4]
+        compact = ArrayNodeView(child.tree.extract_subtree(child.index), 0)
+        assert compact.is_root
+        assert len(compact.tree) == child.subtree_size()  # nothing orphaned
+        assert len(compact.tree) < len(root.tree)
+        assert compact.visit_count == child.visit_count
+        assert compact.value_sum == child.value_sum
+        # whole subtree matches: walk both in lockstep by action path
+        def assert_same(a, b):
+            assert a.visit_count == b.visit_count
+            assert a.value_sum == b.value_sum
+            assert a.prior == b.prior
+            assert a.terminal_value == b.terminal_value
+            ca, cb = a.children, b.children
+            assert set(ca) == set(cb)
+            for action in ca:
+                assert_same(ca[action], cb[action])
+
+        assert_same(compact, child)
+
+
+class TestBackup:
+    def test_alternating_signs(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [0], [1.0])
+        a = tree.children_slice(root).start
+        tree.expand(a, np.array([0]), np.array([1.0]))
+        b = tree.children_slice(a).start
+        tree.backup(b, 1.0)
+        assert tree.value_sum[b] == -1.0
+        assert tree.value_sum[a] == 1.0
+        assert tree.value_sum[root] == -1.0
+        np.testing.assert_array_equal(tree.visit_count[[root, a, b]], [1, 1, 1])
+
+    def test_backup_stops_at_detached_root(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [0, 1], [0.5, 0.5])
+        child = tree.children_slice(root).start
+        tree.expand(child, np.array([3]), np.array([1.0]))
+        grandchild = tree.children_slice(child).start
+        tree.detach(child)
+        tree.backup(grandchild, 0.5)
+        assert tree.visit_count[root] == 0  # detached: old parent untouched
+        assert tree.visit_count[child] == 1
+
+    def test_strict_virtual_loss_residue_raises(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [0], [1.0])
+        vl = ConstantVirtualLoss(weight=2.0, strict=True)
+        # backup without a matching descend: the residue check must fire
+        with pytest.raises(RuntimeError):
+            tree.backup(root, 0.0, vl)
+
+    def test_non_strict_clips_residue(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [0], [1.0])
+        vl = ConstantVirtualLoss(weight=2.0, strict=False)
+        tree.backup(root, 0.0, vl)
+        assert tree.virtual_loss[root] == 0.0
+
+
+class TestSelection:
+    def test_uct_scores_match_node_backend(self):
+        stats = [(0, 0.6, 3, 1.5), (4, 0.3, 1, -0.5), (7, 0.1, 0, 0.0)]
+        node_root = Node()
+        for action, prior, n, w in stats:
+            c = node_root.add_child(action, prior)
+            c.visit_count = n
+            c.value_sum = w
+        node_root.visit_count = 1 + sum(n for _, _, n, _ in stats)
+
+        tree = ArrayTree(8)
+        root = expanded_root(
+            tree, [s[0] for s in stats], [s[1] for s in stats]
+        )
+        sl = tree.children_slice(root)
+        tree.visit_count[sl] = [s[2] for s in stats]
+        tree.value_sum[sl] = [s[3] for s in stats]
+        tree.visit_count[root] = node_root.visit_count
+
+        for vl in (None, NoVirtualLoss(), ConstantVirtualLoss(2.0)):
+            a_node, s_node = uct_scores(node_root, 3.0, vl)
+            a_arr, s_arr = uct_scores(ArrayNodeView(tree, root), 3.0, vl)
+            np.testing.assert_array_equal(a_arr, a_node)
+            np.testing.assert_array_equal(s_arr, s_node)  # bit-exact
+
+    def test_select_child_returns_view(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [1, 3], [0.9, 0.1])
+        tree.visit_count[root] = 1
+        chosen = select_child(ArrayNodeView(tree, root), 5.0)
+        assert isinstance(chosen, ArrayNodeView)
+        assert chosen.action == 1  # higher prior, both unvisited
+
+    def test_tie_break_lowest_action(self):
+        tree = ArrayTree(8)
+        root = expanded_root(tree, [2, 7], [0.5, 0.5])
+        sl = tree.children_slice(root)
+        tree.visit_count[sl] = 1
+        tree.visit_count[root] = 3
+        chosen = select_child(ArrayNodeView(tree, root), 1.0)
+        assert chosen.action == 2
+
+    def test_unexpanded_raises(self):
+        tree = ArrayTree(4)
+        root = tree.new_root()
+        with pytest.raises(ValueError):
+            uct_scores(ArrayNodeView(tree, root), 1.0)
+
+
+class TestViewParity:
+    """ArrayNodeView duck-types the Node read/write surface."""
+
+    def make_pair(self):
+        g = TicTacToe()
+        ev = UniformEvaluator().evaluate(g)
+        node_root = Node()
+        expand(node_root, g, ev)
+        backup(node_root.children[4], 0.5)
+        view_root = make_root("array")
+        expand(view_root, g, ev)
+        backup(view_root.children[4], 0.5)
+        return node_root, view_root
+
+    def test_children_and_stats(self):
+        node_root, view_root = self.make_pair()
+        assert set(view_root.children) == set(node_root.children)
+        for a in node_root.children:
+            assert view_root.children[a].visit_count == node_root.children[a].visit_count
+            assert view_root.children[a].q == node_root.children[a].q
+
+    def test_traversal_helpers(self):
+        node_root, view_root = self.make_pair()
+        assert view_root.subtree_size() == node_root.subtree_size()
+        assert view_root.max_depth() == node_root.max_depth()
+        child = view_root.children[4]
+        assert child.depth() == 1
+        assert child.path_from_root() == [4]
+        assert child.parent == view_root
+        assert view_root.parent is None
+
+    def test_mutation_via_view(self):
+        _, view_root = self.make_pair()
+        child = view_root.children[4]
+        child.prior = 0.75
+        child.value_sum += 1.0
+        assert view_root.tree.prior[child.index] == 0.75
+        assert view_root.children[4].value_sum == child.value_sum
+
+    def test_terminal_marking(self):
+        _, view_root = self.make_pair()
+        child = view_root.children[0]
+        assert child.terminal_value is None
+        child.terminal_value = -1.0
+        assert child.is_terminal
+        assert view_root.children[0].terminal_value == -1.0
+
+    def test_add_child_rejected(self):
+        _, view_root = self.make_pair()
+        with pytest.raises(TypeError):
+            view_root.add_child(99, 0.1)
+
+
+class TestBackendSeam:
+    def test_resolve_backend(self):
+        assert resolve_backend(None) is TreeBackend.ARRAY
+        assert resolve_backend("node") is TreeBackend.NODE
+        assert resolve_backend(TreeBackend.ARRAY) is TreeBackend.ARRAY
+        with pytest.raises(ValueError):
+            resolve_backend("linkedlist")
+
+    def test_make_root_types(self):
+        assert isinstance(make_root("node"), Node)
+        assert isinstance(make_root("array"), ArrayNodeView)
+
+    def test_capacity_hint_bounds(self):
+        assert capacity_hint(9, 100) == 901
+        assert capacity_hint(225, 10**9) == 1 << 20  # capped

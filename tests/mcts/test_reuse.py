@@ -16,8 +16,12 @@ class TestTreeAdvance:
         root_before = agent._root
         child = root_before.children[4]
         agent.observe(4)
-        assert agent._root is child
+        # compare statistics, not identity: the array backend compacts the
+        # kept subtree into a fresh tree on re-root
         assert agent._root.parent is None
+        assert agent._root.visit_count == child.visit_count
+        assert agent._root.value_sum == child.value_sum
+        assert set(agent._root.children) == set(child.children)
 
     def test_observe_unknown_action_drops_tree(self):
         agent = TreeReuseMCTS(UniformEvaluator(), rng=1)

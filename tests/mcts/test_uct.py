@@ -11,12 +11,19 @@ from repro.mcts.virtual_loss import ConstantVirtualLoss
 
 
 def make_parent(stats):
-    """stats: list of (action, prior, visits, value_sum)."""
+    """stats: list of (action, prior, visits, value_sum).
+
+    Maintains the search invariant ``N(parent) == 1 + sum_b N(b)`` (the
+    expansion playout plus one descent per child visit), which
+    ``uct_scores`` relies on to derive the sqrt numerator from the
+    parent's own counters.
+    """
     root = Node()
     for action, prior, n, w in stats:
         c = root.add_child(action, prior)
         c.visit_count = n
         c.value_sum = w
+    root.visit_count = 1 + sum(n for _, _, n, _ in stats)
     return root
 
 

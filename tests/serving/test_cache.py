@@ -51,13 +51,27 @@ class TestCanonicalKey:
         assert a.canonical_key() != b.canonical_key()
 
     def test_base_default_key(self):
-        # the Game-level fallback (encode-derived) also tracks state
+        # the Game-level fallback digest (encode-derived) also tracks state
+        from repro.games.base import Game
+
         game = TicTacToe()
-        base_key = super(TicTacToe, game).canonical_key()
+        base_key = Game._compute_canonical_key(game)
         game2 = TicTacToe()
-        assert base_key == super(TicTacToe, game2).canonical_key()
+        assert base_key == Game._compute_canonical_key(game2)
         game2.step(3)
-        assert base_key != super(TicTacToe, game2).canonical_key()
+        assert base_key != Game._compute_canonical_key(game2)
+
+    def test_key_memoised_and_invalidated(self):
+        # repeated lookups reuse the cached digest; step() invalidates it
+        game = TicTacToe()
+        first = game.canonical_key()
+        assert game.canonical_key() is first  # memo hit: same object
+        clone = game.copy()
+        assert clone.canonical_key() is first  # copies inherit the memo
+        game.step(0)
+        after = game.canonical_key()
+        assert after is not first and after != first
+        assert clone.canonical_key() == first  # the copy is unaffected
 
 
 class TestEvaluationCache:
