@@ -8,9 +8,13 @@ simulate  : execute one move's tree-based search on the virtual platform
     and print the timing summary (the unit the figures are built from).
 train     : run the Algorithm-1 training loop at small scale; with
     ``--concurrent-games G`` data collection runs G games per iteration
-    through the shared accelerator queue + evaluation cache.
+    through the shared accelerator queue + evaluation cache, and
+    ``--evaluator-backend process`` moves collection onto the multiprocess
+    farm (``--workers`` worker processes, shared-memory batched
+    evaluation).
 selfplay  : run one multi-game batched self-play round and print the
-    serving statistics (games/sec, batch occupancy, cache hit rate).
+    serving statistics (games/sec, batch occupancy, cache hit rate);
+    ``--backend process --workers N`` runs the round on the farm.
 """
 
 from __future__ import annotations
@@ -65,14 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--playouts", type=int, default=40)
     p_train.add_argument(
         "--workers", type=int, default=4,
-        help="within-tree search workers (single-game mode; ignored when "
-             "--concurrent-games > 1, where parallelism comes from games)",
+        help="within-tree search workers (single-game mode), or self-play "
+             "worker *processes* with --evaluator-backend process; ignored "
+             "for thread-backend concurrent games (parallelism comes from "
+             "games)",
     )
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument(
         "--concurrent-games", type=int, default=1,
         help="collect data with G concurrent games per iteration (shared "
              "accelerator queue + evaluation cache)",
+    )
+    p_train.add_argument(
+        "--evaluator-backend", default="thread", choices=["thread", "process"],
+        help="with --concurrent-games > 1: run the games on a thread pool "
+             "(in-process queue) or on the multiprocess self-play farm "
+             "(shared-memory batched evaluation, --workers processes)",
     )
     p_train.add_argument(
         "--tree-backend", default="array", choices=["node", "array"],
@@ -94,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument(
         "--tree-backend", default="array", choices=["node", "array"],
         help="search-tree storage for the per-game serial searches",
+    )
+    p_sp.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="run the G games on a thread pool (default) or as a "
+             "multiprocess farm with shared-memory batched evaluation",
+    )
+    p_sp.add_argument(
+        "--workers", type=int, default=2,
+        help="worker-process count for --backend process",
     )
     return parser
 
@@ -164,12 +185,16 @@ def cmd_train(args) -> int:
     max_moves = game.board_shape[0] * game.board_shape[1]
     scheme = None
     engine = None
+    if args.evaluator_backend == "process" and args.concurrent_games <= 1:
+        print("note: --evaluator-backend process requires "
+              "--concurrent-games > 1; collecting single-game instead")
     if args.concurrent_games > 1:
         from repro.mcts import SerialMCTS
 
-        if args.workers != 4:  # non-default: the user asked for something
-            print("note: --workers is ignored with --concurrent-games > 1 "
-                  "(parallelism comes from concurrent games)")
+        if args.evaluator_backend == "thread" and args.workers != 4:
+            # non-default: the user asked for something
+            print("note: --workers is ignored with the thread evaluator "
+                  "backend (parallelism comes from concurrent games)")
         engine = MultiGameSelfPlayEngine(
             game, evaluator, num_games=args.concurrent_games,
             num_playouts=args.playouts, max_moves=max_moves,
@@ -179,6 +204,8 @@ def cmd_train(args) -> int:
                 tree_backend=args.tree_backend,
             ),
             rng=args.seed + 1,
+            backend=args.evaluator_backend,
+            num_workers=args.workers,
         )
     else:
         scheme = LocalTreeMCTS(
@@ -225,6 +252,7 @@ def cmd_selfplay(args) -> int:
         num_playouts=args.playouts, cache_capacity=args.cache_capacity,
         max_moves=game.board_shape[0] * game.board_shape[1],
         rng=args.seed + 1, tree_backend=args.tree_backend,
+        backend=args.backend, num_workers=args.workers,
     )
     with engine:
         for r in range(args.rounds):

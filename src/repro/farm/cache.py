@@ -1,0 +1,257 @@
+"""Lock-striped shared-memory evaluation cache.
+
+The PR-1 :class:`repro.serving.cache.EvaluationCache` keeps hot leaf
+evaluations in front of the accelerator queue, but it is an in-process
+``OrderedDict`` -- useless once self-play workers are separate processes.
+This is its shared-memory counterpart: a fixed-capacity table of
+``(digest, priors, value)`` records living entirely in
+:class:`~repro.farm.shm.SegmentRegistry` segments, indexed by an
+open-addressing hash table and guarded by *S* independent stripe locks.
+
+Keys are 16-byte BLAKE2b digests of :meth:`repro.games.base.Game.canonical_key`
+(pickled with a pinned protocol so every process derives identical bytes).
+A digest selects its stripe, and each stripe is a self-contained sub-table
+-- buckets, record slots, insert cursor, counters -- so two processes
+touching different stripes never contend, and a probe chain never crosses
+a stripe boundary (which is what makes per-stripe locking sound).
+
+Eviction is clock-style overwrite: when a stripe's slots are exhausted the
+insert cursor wraps and the oldest-written record is replaced; the stale
+bucket that pointed at the reused slot is tombstoned via a reverse
+slot->bucket map so probe chains stay short.  That is deliberately weaker
+than the thread cache's LRU -- cross-process LRU bookkeeping would put a
+global lock back on every *hit* -- and self-play traffic is recent-biased
+enough that overwrite-oldest behaves comparably.
+
+Determinism note: evaluations are pure functions of the state, so farm
+runs remain transcript-exact with the cache on -- a hit returns bit-for-bit
+the float64 values a fresh evaluation would (everything is stored at full
+precision).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import pickle
+
+import numpy as np
+
+from repro.farm.shm import SegmentRegistry, alloc_array
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluation
+
+__all__ = ["SharedEvaluationCache"]
+
+_DIGEST_SIZE = 16
+_EMPTY = -1
+_TOMBSTONE = -2
+#: pickle protocol pinned so every process derives identical key bytes
+_PICKLE_PROTOCOL = 4
+
+
+def _digest(key: tuple) -> bytes:
+    return hashlib.blake2b(
+        pickle.dumps(key, protocol=_PICKLE_PROTOCOL), digest_size=_DIGEST_SIZE
+    ).digest()
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(1, int(n - 1).bit_length())
+
+
+class SharedEvaluationCache:
+    """Fixed-capacity cross-process evaluation cache with striped locking.
+
+    Parameters
+    ----------
+    action_size : width of the cached prior vectors.
+    capacity : total number of cached states across all stripes.
+    stripes : number of independently locked sub-tables; higher values
+        reduce cross-process contention at a small memory cost.
+    registry : shared-memory owner; the cache allocates all of its state
+        through it (and therefore shares its lifetime).
+    ctx : multiprocessing context the stripe locks come from (must be the
+        same fork context the worker processes are spawned with).
+    lock_timeout : seconds a stripe-lock acquisition may wait before the
+        operation degrades to a cache bypass (a ``get`` misses without
+        counting, a ``put`` is skipped).  A worker SIGKILLed *inside* a
+        stripe critical section leaves that stripe's semaphore locked
+        forever; the timeout turns that from a farm-wide deadlock into a
+        slightly colder cache, which is the correct failure mode for a
+        cache.
+    """
+
+    def __init__(
+        self,
+        action_size: int,
+        capacity: int = 8192,
+        stripes: int = 8,
+        registry: SegmentRegistry | None = None,
+        ctx: mp.context.BaseContext | None = None,
+        lock_timeout: float = 0.2,
+    ) -> None:
+        if action_size < 1:
+            raise ValueError("action_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        ctx = ctx or mp.get_context("fork")
+        self.registry = registry if registry is not None else SegmentRegistry()
+        self.action_size = action_size
+        self.num_stripes = min(stripes, capacity)
+        self.slots_per_stripe = max(1, capacity // self.num_stripes)
+        self.capacity = self.slots_per_stripe * self.num_stripes
+        self.num_buckets = _next_pow2(2 * self.slots_per_stripe)
+        self._probe_limit = min(self.num_buckets, 128)
+
+        s, c, b = self.num_stripes, self.slots_per_stripe, self.num_buckets
+        self._buckets = alloc_array(self.registry, (s, b), np.int32)
+        self._buckets.fill(_EMPTY)
+        self._digests = alloc_array(self.registry, (s, c, _DIGEST_SIZE), np.uint8)
+        self._priors = alloc_array(self.registry, (s, c, action_size), np.float64)
+        self._values = alloc_array(self.registry, (s, c), np.float64)
+        #: reverse map slot -> owning bucket, for tombstoning on eviction
+        self._slot_bucket = alloc_array(self.registry, (s, c), np.int32)
+        self._slot_bucket.fill(_EMPTY)
+        self._cursor = alloc_array(self.registry, (s,), np.int64)
+        self._filled = alloc_array(self.registry, (s,), np.int64)
+        # [hits, misses, evictions, insert_failures] per stripe, mutated
+        # only under the stripe lock -> cross-process atomic
+        self._stats = alloc_array(self.registry, (s, 4), np.int64)
+        self._locks = [ctx.Lock() for _ in range(s)]
+        self.lock_timeout = lock_timeout
+
+    # -- key plumbing --------------------------------------------------------
+    def _locate(self, game: Game) -> tuple[int, np.ndarray, int]:
+        digest = _digest(game.canonical_key())
+        stripe = int.from_bytes(digest[:2], "little") % self.num_stripes
+        h0 = int.from_bytes(digest[2:6], "little") & (self.num_buckets - 1)
+        return stripe, np.frombuffer(digest, dtype=np.uint8), h0
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, game: Game) -> Evaluation | None:
+        """Look up *game*'s state; counts a hit or a miss either way."""
+        stripe, digest, h0 = self._locate(game)
+        mask = self.num_buckets - 1
+        if not self._locks[stripe].acquire(timeout=self.lock_timeout):
+            return None  # wedged stripe (dead lock holder): bypass, uncounted
+        try:
+            buckets = self._buckets[stripe]
+            for j in range(self._probe_limit):
+                slot = int(buckets[(h0 + j) & mask])
+                if slot == _EMPTY:
+                    break
+                if slot == _TOMBSTONE:
+                    continue
+                if np.array_equal(self._digests[stripe, slot], digest):
+                    self._stats[stripe, 0] += 1
+                    return Evaluation(
+                        priors=self._priors[stripe, slot].copy(),
+                        value=float(self._values[stripe, slot]),
+                    )
+            self._stats[stripe, 1] += 1
+            return None
+        finally:
+            self._locks[stripe].release()
+
+    def put(self, game: Game, evaluation: Evaluation) -> None:
+        """Insert (or refresh) *game*'s evaluation, overwriting the oldest
+        record of the stripe when it is full."""
+        priors = np.asarray(evaluation.priors, dtype=np.float64)
+        if priors.shape != (self.action_size,):
+            raise ValueError(
+                f"priors shape {priors.shape} != ({self.action_size},)"
+            )
+        stripe, digest, h0 = self._locate(game)
+        mask = self.num_buckets - 1
+        if not self._locks[stripe].acquire(timeout=self.lock_timeout):
+            return  # wedged stripe: skip the insert
+        try:
+            buckets = self._buckets[stripe]
+            target_bucket = _EMPTY
+            for j in range(self._probe_limit):
+                bucket = (h0 + j) & mask
+                slot = int(buckets[bucket])
+                if slot == _TOMBSTONE:
+                    if target_bucket == _EMPTY:
+                        target_bucket = bucket  # reusable, but keep probing
+                    continue
+                if slot == _EMPTY:
+                    if target_bucket == _EMPTY:
+                        target_bucket = bucket
+                    break
+                if np.array_equal(self._digests[stripe, slot], digest):
+                    # refresh in place (equal value for a deterministic
+                    # evaluator; harmless either way)
+                    self._priors[stripe, slot] = priors
+                    self._values[stripe, slot] = evaluation.value
+                    return
+            if target_bucket == _EMPTY:
+                self._stats[stripe, 3] += 1  # probe window exhausted
+                return
+            slot = int(self._cursor[stripe])
+            self._cursor[stripe] = (slot + 1) % self.slots_per_stripe
+            if self._filled[stripe] >= self.slots_per_stripe:
+                # evict: tombstone the bucket still pointing at this slot
+                old_bucket = int(self._slot_bucket[stripe, slot])
+                if old_bucket != _EMPTY and int(buckets[old_bucket]) == slot:
+                    buckets[old_bucket] = _TOMBSTONE
+                self._stats[stripe, 2] += 1
+            else:
+                self._filled[stripe] += 1
+            self._digests[stripe, slot] = digest
+            self._priors[stripe, slot] = priors
+            self._values[stripe, slot] = evaluation.value
+            self._slot_bucket[stripe, slot] = target_bucket
+            buckets[target_bucket] = slot
+        finally:
+            self._locks[stripe].release()
+
+    # -- maintenance ---------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept, like the thread
+        cache); used by the training pipeline after each SGD stage."""
+        for stripe in range(self.num_stripes):
+            locked = self._locks[stripe].acquire(timeout=self.lock_timeout)
+            try:
+                # proceed even on a wedged stripe: clear() runs between
+                # rounds when workers are idle, and a stale-entry wipe is
+                # exactly what the caller needs after a weight update
+                self._buckets[stripe].fill(_EMPTY)
+                self._slot_bucket[stripe].fill(_EMPTY)
+                self._cursor[stripe] = 0
+                self._filled[stripe] = 0
+            finally:
+                if locked:
+                    self._locks[stripe].release()
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._filled.sum())
+
+    @property
+    def hits(self) -> int:
+        return int(self._stats[:, 0].sum())
+
+    @property
+    def misses(self) -> int:
+        return int(self._stats[:, 1].sum())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._stats[:, 2].sum())
+
+    @property
+    def insert_failures(self) -> int:
+        return int(self._stats[:, 3].sum())
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0

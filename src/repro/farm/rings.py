@@ -1,0 +1,143 @@
+"""Shared-memory evaluation rings: the farm's request/response fabric.
+
+Each worker owns a small ring of ``depth`` slots in four shared slabs:
+
+    states : (W, depth, planes, rows, cols)  encoded leaf positions
+    masks  : (W, depth, A)                   legal-move masks (0/1)
+    priors : (W, depth, A)                   evaluator output, written back
+    values : (W, depth)                      evaluator output, written back
+
+A request is "the payload is in my slot" -- the worker writes its encoded
+state and mask into ``(worker_id, slot)``, then rings the evaluator's
+doorbell with a tiny ``(slot, epoch)`` message over its dedicated pipe.
+The evaluator batches doorbells, reads the slabs with one fancy-indexed
+gather, runs the batched forward, scatters priors/values back, and rings
+each worker's doorbell in return.  Only doorbell tuples ever cross a pipe;
+the tensors themselves move through shared memory, which is the whole
+point of the design.
+
+Doorbell messages are far below ``PIPE_BUF``, so the kernel writes them
+atomically -- a SIGKILLed worker can never leave a torn frame in the
+evaluator's pipe (the supervision tests rely on this).
+
+*Epochs* fence worker restarts: a respawned worker reuses its dead
+predecessor's ring and pipe, so a late response to the dead worker's
+in-flight request may still arrive.  Responses echo the request epoch and
+the client discards any token whose epoch (or slot) is not the one it is
+waiting on.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Connection
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.farm.shm import SegmentRegistry, alloc_array
+from repro.games.base import Game
+from repro.mcts.evaluation import Evaluation, Evaluator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.farm.cache import SharedEvaluationCache
+
+__all__ = ["EvaluationRings", "RingClient"]
+
+
+class EvaluationRings:
+    """The four shared slabs, allocated through a :class:`SegmentRegistry`."""
+
+    def __init__(
+        self,
+        registry: SegmentRegistry,
+        num_workers: int,
+        depth: int,
+        planes_shape: tuple[int, ...],
+        action_size: int,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.num_workers = num_workers
+        self.depth = depth
+        self.planes_shape = tuple(planes_shape)
+        self.action_size = action_size
+        w, d, a = num_workers, depth, action_size
+        self.states = alloc_array(registry, (w, d, *self.planes_shape), np.float64)
+        self.masks = alloc_array(registry, (w, d, a), np.float64)
+        self.priors = alloc_array(registry, (w, d, a), np.float64)
+        self.values = alloc_array(registry, (w, d), np.float64)
+
+    def gather(self, wids: list[int], slots: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluator-side: copy the pending requests out as one batch."""
+        return self.states[wids, slots], self.masks[wids, slots]
+
+    def scatter(
+        self, wids: list[int], slots: list[int], priors: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Evaluator-side: write the batch results back into the rings."""
+        self.priors[wids, slots] = priors
+        self.values[wids, slots] = values
+
+
+class RingClient(Evaluator):
+    """Worker-side :class:`Evaluator` that evaluates through the rings.
+
+    The search scheme inside a worker process calls :meth:`evaluate` like
+    any other evaluator; under the hood a miss on the shared cache becomes
+    a slot write + doorbell + blocking wait on the response doorbell.
+
+    Concurrency contract: one request is in flight at a time.  The ring
+    transaction runs under a client lock, so a scheme that evaluates from
+    several threads (leaf-parallel) is *safe* but serialised -- within a
+    worker process, parallelism should come from the search, with the
+    farm's cross-worker batching providing the evaluation concurrency.
+    (The extra ring slots exist so a respawned worker's writes never race
+    the evaluator's read of its dead predecessor's in-flight slot.)
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        epoch: int,
+        rings: EvaluationRings,
+        doorbell: Connection,
+        cache: "SharedEvaluationCache | None" = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.epoch = epoch
+        self.rings = rings
+        self.doorbell = doorbell
+        self.cache = cache
+        self._next_slot = 0
+        self._lock = threading.Lock()
+
+    def evaluate(self, game: Game) -> Evaluation:
+        if self.cache is not None:
+            cached = self.cache.get(game)
+            if cached is not None:
+                return cached
+        w = self.worker_id
+        with self._lock:
+            slot = self._next_slot
+            self._next_slot = (slot + 1) % self.rings.depth
+            self.rings.states[w, slot] = game.encode()
+            self.rings.masks[w, slot] = game.legal_mask()
+            self.doorbell.send((slot, self.epoch))
+            while True:
+                r_slot, r_epoch = self.doorbell.recv()
+                if r_epoch == self.epoch and r_slot == slot:
+                    break
+                # stale token addressed to a previous life of this worker
+            evaluation = Evaluation(
+                priors=self.rings.priors[w, slot].copy(),
+                value=float(self.rings.values[w, slot]),
+            )
+        if self.cache is not None:
+            self.cache.put(game, evaluation)
+        return evaluation
+
+    def evaluate_batch(self, games: list[Game]) -> list[Evaluation]:
+        return [self.evaluate(g) for g in games]

@@ -1,0 +1,112 @@
+"""Shared-memory segment registry and array allocation for the farm.
+
+Every byte the multiprocess farm shares -- encoded-state slabs, priors,
+values, the lock-striped cache index -- lives in named
+:class:`multiprocessing.shared_memory.SharedMemory` segments created
+through one :class:`SegmentRegistry`.  Centralising creation buys two
+things the fault-injection tests depend on:
+
+- *Leak accounting*: :meth:`SegmentRegistry.names` lists every segment
+  the farm owns, so a test can assert nothing is left behind under
+  ``/dev/shm`` after :meth:`SegmentRegistry.close`.
+- *Crash-safe teardown*: ``close()`` unlinks by name first and only then
+  attempts to release the local mappings, so segments disappear from the
+  filesystem even while live NumPy views still pin the mapping (views in
+  a SIGKILLed worker never get a chance to be dropped).
+
+Worker and evaluator processes are always *forked* from the process that
+created the registry, so they inherit the mappings directly and never
+re-attach by name -- which sidesteps the CPython < 3.13
+``resource_tracker`` double-unlink problem entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SegmentRegistry", "alloc_array"]
+
+
+class SegmentRegistry:
+    """Owns a set of named shared-memory segments; unlinks them on close.
+
+    Parameters
+    ----------
+    prefix : leading component of every segment name; names embed the
+        creating PID plus random hex so concurrent farms never collide.
+    """
+
+    def __init__(self, prefix: str = "repro-farm") -> None:
+        self.prefix = prefix
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Allocate a new named segment of at least *nbytes* bytes."""
+        if self._closed:
+            raise RuntimeError("registry is closed")
+        name = f"{self.prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        self._segments.append(shm)
+        return shm
+
+    def names(self) -> list[str]:
+        """Names of every segment this registry created (for leak checks)."""
+        return [s.name for s in self._segments]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink every segment by name; idempotent.
+
+        Deliberately does *not* call ``SharedMemory.close()``: NumPy views
+        exported from ``shm.buf`` may still be referenced (farm statistics
+        are routinely read after teardown), and CPython's ``close()`` can
+        unmap the pages out from under them -- a segfault, not an
+        exception.  Unlinking alone is what "no leaks in /dev/shm" means;
+        the pages themselves are reclaimed by the kernel when the last
+        process unmaps them (at GC of the views, or process exit).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. double close from __del__)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def alloc_array(
+    registry: SegmentRegistry, shape: tuple[int, ...], dtype: np.dtype | type
+) -> np.ndarray:
+    """Allocate a zero-initialised NumPy array backed by shared memory.
+
+    The returned array is an ordinary ``ndarray`` view over a segment owned
+    by *registry*; forked children share the underlying pages.  Keep the
+    registry alive as long as the array is in use.
+    """
+    dtype = np.dtype(dtype)
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    shm = registry.create(nbytes)
+    arr: np.ndarray = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    arr.fill(0)
+    return arr

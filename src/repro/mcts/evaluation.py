@@ -86,6 +86,25 @@ class Evaluator(abc.ABC):
         return [self.evaluate(g) for g in games]
 
 
+def _sanitize_masks(masks: np.ndarray) -> np.ndarray:
+    """Boolean-ise a ``(B, A)`` mask batch, mapping all-illegal rows to
+    all-legal.
+
+    An all-illegal row cannot come from a live game (search never
+    evaluates terminal states); it only appears when the multiprocess farm
+    evaluates a slab slot torn by a killed-and-respawned worker, and that
+    response is discarded by the epoch fence anyway -- the substitution
+    just keeps the batched forward from dividing by zero on a row nobody
+    will read.
+    """
+    masks = np.asarray(masks).astype(bool)
+    empty = ~masks.any(axis=-1)
+    if np.any(empty):
+        masks = masks.copy()
+        masks[empty] = True
+    return masks
+
+
 class NetworkEvaluator(Evaluator):
     """Policy/value-network evaluation (the paper's DNN inference).
 
@@ -122,6 +141,30 @@ class NetworkEvaluator(Evaluator):
             for i in range(len(games))
         ]
 
+    def evaluate_encoded(
+        self, states: np.ndarray, masks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate pre-encoded states: ``(B, C, H, W)`` planes and
+        ``(B, A)`` legality masks -> ``(priors (B, A), values (B,))``.
+
+        This is the multiprocess farm's evaluation surface: worker
+        processes ship ``encode()`` planes through shared memory, so by
+        the time the batch reaches the evaluator process there are no
+        ``Game`` objects left to call :meth:`evaluate_batch` with.  The
+        numeric path is identical to :meth:`evaluate_batch` (same
+        ``predict_batch``, same masking contract), so in-process and
+        cross-process evaluation of the same state agree exactly.
+        """
+        masks = _sanitize_masks(masks)
+        predict_batch = getattr(self.network, "predict_batch", None)
+        if predict_batch is not None:
+            out = predict_batch(np.asarray(states), masks)
+            return out.policy, np.asarray(out.value, dtype=np.float64)
+        out = self.network.predict(np.asarray(states))
+        return mask_and_normalize(out.policy, masks), np.asarray(
+            out.value, dtype=np.float64
+        )
+
 
 class UniformEvaluator(Evaluator):
     """Uniform priors over legal moves, zero value."""
@@ -132,6 +175,16 @@ class UniformEvaluator(Evaluator):
         if count == 0:
             raise ValueError("cannot evaluate a state with no legal actions")
         return Evaluation(priors=mask.astype(np.float64) / count, value=0.0)
+
+    def evaluate_encoded(
+        self, states: np.ndarray, masks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Farm-facing pre-encoded path; row-wise identical to
+        :meth:`evaluate`, so cross-process runs stay transcript-exact."""
+        masks = _sanitize_masks(masks)
+        counts = masks.sum(axis=-1, keepdims=True)
+        priors = masks.astype(np.float64) / counts
+        return priors, np.zeros(len(priors), dtype=np.float64)
 
 
 class RandomRolloutEvaluator(Evaluator):

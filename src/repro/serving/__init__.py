@@ -9,7 +9,9 @@ single-game self-play to request-serving):
   :meth:`repro.games.base.Game.canonical_key`; a hit never reaches the
   accelerator.
 - :mod:`repro.serving.engine` -- :class:`MultiGameSelfPlayEngine`, the
-  G-games-one-queue orchestrator with round-level serving statistics.
+  G-games-one-queue orchestrator with round-level serving statistics
+  (``backend="process"`` swaps the thread pool for the multiprocess
+  :mod:`repro.farm` behind the same interface).
 """
 
 from repro.serving.cache import CachingEvaluator, EvaluationCache

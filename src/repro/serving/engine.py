@@ -20,10 +20,17 @@ Section-3.2 program-template property.
 As games finish, the engine shrinks the queue's flush threshold to the
 number of still-active games so the tail of the round is not condemned to
 linger-timeout stalls on every request.
+
+All of the above runs on a thread pool sharing one GIL.  For true
+multi-core scale-out, ``backend="process"`` keeps the same ``play_round``
+surface but delegates the round to a :class:`repro.farm.farm.SelfPlayFarm`:
+worker processes, shared-memory batched evaluation, a lock-striped shared
+cache, and restart-and-requeue supervision.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -104,15 +111,30 @@ class MultiGameSelfPlayEngine:
         evaluator; defaults to :class:`SerialMCTS` (one outstanding leaf
         evaluation per game, so queue occupancy ~ number of active games).
     batch_size : queue flush threshold; defaults to ``num_games``.
+        Thread backend only -- the process backend's evaluator flushes at
+        the busy-worker headcount and rejects this knob.
     cache_capacity : LRU evaluation-cache size (states).
     linger : queue partial-flush timeout in seconds.
     tree_backend : storage layout for the default per-game search trees
         (array by default -- each game's tree is single-threaded, so the
         vectorised backend is exact); custom ``scheme_factory`` callables
         own their backend choice and can read :attr:`tree_backend`.
+    backend : ``"thread"`` (default) runs the G games on a thread pool
+        over the in-process queue + LRU cache; ``"process"`` delegates to
+        a :class:`repro.farm.farm.SelfPlayFarm` -- N worker processes,
+        shared-memory batched evaluation, lock-striped shared cache, and
+        restart-and-requeue supervision -- for true multi-core scale-out.
+        Episodes stay seeded per-game from the engine rng, so both
+        backends produce identical transcripts for a deterministic
+        evaluator.
+    num_workers : process backend only -- worker-process count (defaults
+        to ``min(num_games, cpu_count)``).
+    max_retries : process backend only -- per-episode retry budget after
+        worker deaths.
 
     Use :meth:`play_round` for episodes + stats, or :meth:`close` /
-    context-manager form to release the game-thread pool.
+    context-manager form to release the game-thread pool (and, for the
+    process backend, the farm's processes and shared memory).
     """
 
     def __init__(
@@ -130,12 +152,18 @@ class MultiGameSelfPlayEngine:
         max_moves: int | None = None,
         rng: np.random.Generator | int | None = None,
         tree_backend: TreeBackend | str | None = None,
+        backend: str = "thread",
+        num_workers: int | None = None,
+        max_retries: int = 2,
     ) -> None:
         if num_games < 1:
             raise ValueError("num_games must be >= 1")
         if num_playouts < 1:
             raise ValueError("num_playouts must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.game = game
+        self.backend = backend
         self.num_games = num_games
         self.num_playouts = num_playouts
         self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
@@ -148,6 +176,41 @@ class MultiGameSelfPlayEngine:
         self.temperature = temperature
         self.max_moves = max_moves
         self.rng = new_rng(rng)
+
+        self._farm = None
+        if backend == "process":
+            if batch_size is not None:
+                raise ValueError(
+                    "batch_size is a thread-backend knob (the in-process "
+                    "queue's flush threshold); the process backend's "
+                    "evaluator flushes at the busy-worker headcount"
+                )
+            from repro.farm import SelfPlayFarm
+
+            self._farm = SelfPlayFarm(
+                game,
+                evaluator,
+                num_workers=num_workers or min(num_games, os.cpu_count() or 1),
+                num_playouts=num_playouts,
+                scheme_factory=self.scheme_factory,
+                temperature_moves=temperature_moves,
+                temperature=temperature,
+                max_moves=max_moves,
+                cache_capacity=cache_capacity,
+                linger=linger,
+                max_retries=max_retries,
+                tree_backend=self.tree_backend,
+            )
+            # the process backend's cache/queue counterparts: the farm's
+            # shared cache serves the role of the LRU cache (same clear()
+            # contract the training pipeline relies on); there is no
+            # in-process queue to expose.
+            self.cache = self._farm.cache
+            self.batching = None
+            self.queue = None
+            self.shared_evaluator = None
+            self._pool = None
+            return
 
         self.cache = EvaluationCache(cache_capacity)
         self._round_batch_size = batch_size or num_games
@@ -173,6 +236,8 @@ class MultiGameSelfPlayEngine:
         return self._pool
 
     def close(self) -> None:
+        if self._farm is not None:
+            self._farm.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -213,7 +278,16 @@ class MultiGameSelfPlayEngine:
 
     def play_round(self) -> tuple[list[EpisodeResult], ServingStats]:
         """Play ``num_games`` episodes concurrently; returns them with the
-        round's serving statistics (throughput, occupancy, cache rates)."""
+        round's serving statistics (throughput, occupancy, cache rates).
+
+        Under ``backend="process"`` the round runs on the farm and the
+        returned stats are a :class:`repro.farm.farm.FarmStats` (a
+        superset of :class:`ServingStats` that adds supervision fields).
+        """
+        if self._farm is not None:
+            self._sync_farm_weights()
+            rngs = spawn_rngs(self.rng, self.num_games)
+            return self._farm.run_round(rngs)
         pool = self._ensure_pool()
         rngs = spawn_rngs(self.rng, self.num_games)
         base_requests = self.queue.requests_served
@@ -248,3 +322,17 @@ class MultiGameSelfPlayEngine:
             cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
         )
         return results, stats
+
+    def _sync_farm_weights(self) -> None:
+        """Propagate post-SGD network weights into the evaluator process.
+
+        The farm's evaluator holds a *forked copy* of the evaluator, so
+        in-place weight updates in this process (the training loop's SGD
+        stage) would otherwise go unseen.  A no-op before the farm's
+        first round (the fork inherits current weights) and for
+        network-less evaluators.
+        """
+        network = getattr(self._farm.evaluator, "network", None)
+        state_dict = getattr(network, "state_dict", None)
+        if state_dict is not None:
+            self._farm.sync_weights(state_dict())

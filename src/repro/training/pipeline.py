@@ -104,7 +104,10 @@ class TrainingPipeline:
     :class:`repro.serving.engine.MultiGameSelfPlayEngine`) and every
     iteration collects a whole concurrent round of G episodes through the
     shared accelerator queue, folding the round's cache/occupancy counters
-    into :attr:`metrics`.
+    into :attr:`metrics`.  A process-backend engine works unchanged: the
+    post-SGD ``cache.clear()`` below clears the farm's shared-memory cache,
+    and the engine re-syncs the updated network weights into its evaluator
+    process at the start of the next round.
     """
 
     def __init__(
@@ -214,10 +217,11 @@ class TrainingPipeline:
         wall_train = time.perf_counter() - t1
         modelled = self.clock.charge_train(self.sgd_iterations)
         self.metrics.train_time += modelled if modelled > 0 else wall_train
-        if self.engine is not None:
+        if self.engine is not None and self.engine.cache is not None:
             # SGD just updated the network the engine evaluates with;
             # cached evaluations are now stale and must not leak into the
-            # next round's self-play data.
+            # next round's self-play data.  (cache is None only for a
+            # process-backend engine built with caching disabled.)
             self.engine.cache.clear()
 
     def run(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rngs", "RngMixin"]
+__all__ = ["new_rng", "spawn_rngs", "seed_ladder", "RngMixin"]
 
 
 def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -35,6 +35,19 @@ def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     if n < 0:
         raise ValueError(f"cannot spawn {n} generators")
     return list(rng.spawn(n))
+
+
+def seed_ladder(seed: int | None, n: int) -> list[np.random.Generator]:
+    """The fixed per-episode seed ladder: *n* generators spawned from one
+    root ``SeedSequence``.
+
+    Episode *i*'s stream depends only on ``(seed, i)`` -- never on which
+    worker (process or thread) happens to run the episode -- which is what
+    lets a multiprocess farm round reproduce a serial loop transcript-
+    for-transcript.  Passing the same ``(seed, n)`` always returns an
+    identical ladder.
+    """
+    return spawn_rngs(new_rng(seed), n)
 
 
 class RngMixin:

@@ -1,0 +1,82 @@
+"""SelfPlayFarm surface: validation, lifecycle, stats shape."""
+
+import numpy as np
+import pytest
+
+from repro.farm import FarmStats, SelfPlayFarm
+from repro.games import TicTacToe
+from repro.mcts.evaluation import RandomRolloutEvaluator, UniformEvaluator
+from repro.utils.rng import seed_ladder
+
+
+class TestValidation:
+    def test_rollout_evaluator_rejected(self):
+        """Rollout evaluation needs to *step* live Game objects; the farm
+        only ships encoded planes, so it must refuse up front rather than
+        fail inside a worker."""
+        with pytest.raises(TypeError, match="evaluate_encoded"):
+            SelfPlayFarm(TicTacToe(), RandomRolloutEvaluator())
+
+    def test_invalid_args(self):
+        game, ev = TicTacToe(), UniformEvaluator()
+        with pytest.raises(ValueError):
+            SelfPlayFarm(game, ev, num_workers=0)
+        with pytest.raises(ValueError):
+            SelfPlayFarm(game, ev, num_playouts=0)
+        with pytest.raises(ValueError):
+            SelfPlayFarm(game, ev, max_retries=-1)
+
+    def test_empty_round_rejected(self):
+        with SelfPlayFarm(TicTacToe(), UniformEvaluator()) as farm:
+            with pytest.raises(ValueError):
+                farm.run_round([])
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_and_close_is_final(self):
+        farm = SelfPlayFarm(
+            TicTacToe(), UniformEvaluator(), num_workers=2, num_playouts=6
+        )
+        farm.start()
+        pids = farm.worker_pids
+        farm.start()
+        assert farm.worker_pids == pids
+        farm.close()
+        farm.close()
+        with pytest.raises(RuntimeError):
+            farm.start()
+
+    def test_sync_weights_is_noop_before_start(self):
+        farm = SelfPlayFarm(
+            TicTacToe(), UniformEvaluator(), num_workers=1, num_playouts=4
+        )
+        farm.sync_weights({})  # forked evaluator will inherit anyway
+        farm.close()
+
+
+class TestFarmStats:
+    def test_superset_of_serving_stats(self):
+        from repro.serving import ServingStats
+
+        assert issubclass(FarmStats, ServingStats)
+        with SelfPlayFarm(
+            TicTacToe(), UniformEvaluator(), num_workers=2, num_playouts=6
+        ) as farm:
+            _, stats = farm.run_round(seed_ladder(0, 3))
+        d = stats.as_dict()
+        for key in (
+            "games", "moves", "playouts", "eval_requests", "eval_batches",
+            "partial_flushes", "cache_hits", "cache_misses",
+            "num_workers", "worker_restarts", "episodes_requeued",
+            "sims_per_sec",
+        ):
+            assert key in d
+        assert stats.sims_per_sec == pytest.approx(
+            stats.playouts / stats.wall_time
+        )
+        assert stats.games == 3
+        total = stats.cache_hits + stats.cache_misses
+        assert stats.cache_hit_rate == pytest.approx(
+            stats.cache_hits / total if total else 0.0
+        )
+        assert np.isfinite(stats.mean_batch_occupancy)

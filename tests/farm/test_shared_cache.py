@@ -1,0 +1,169 @@
+"""SharedEvaluationCache: striped shared-memory semantics, plus the
+SegmentRegistry it allocates through."""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.farm import SegmentRegistry, SharedEvaluationCache, alloc_array
+from repro.games import TicTacToe
+from repro.mcts.evaluation import Evaluation, UniformEvaluator
+
+
+def distinct_states(n):
+    """n TicTacToe states with distinct canonical keys."""
+    states = [TicTacToe()]
+    frontier = [TicTacToe()]
+    while len(states) < n:
+        nxt = []
+        for g in frontier:
+            for a in g.legal_actions():
+                child = g.copy()
+                child.step(int(a))
+                if child.is_terminal:
+                    continue
+                states.append(child)
+                nxt.append(child)
+                if len(states) >= n:
+                    return states[:n]
+        frontier = nxt
+    return states[:n]
+
+
+def make_cache(**kwargs):
+    game = TicTacToe()
+    kwargs.setdefault("capacity", 64)
+    kwargs.setdefault("stripes", 4)
+    return SharedEvaluationCache(game.action_size, **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_get_exact(self):
+        cache = make_cache()
+        game = TicTacToe()
+        ev = UniformEvaluator().evaluate(game)
+        assert cache.get(game) is None
+        cache.put(game, ev)
+        got = cache.get(game)
+        assert got is not None
+        np.testing.assert_array_equal(got.priors, ev.priors)
+        assert got.value == ev.value
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_distinct_states_do_not_collide(self):
+        cache = make_cache(capacity=256)
+        states = distinct_states(40)
+        for i, g in enumerate(states):
+            cache.put(g, Evaluation(priors=np.full(9, float(i)), value=float(i)))
+        for i, g in enumerate(states):
+            got = cache.get(g)
+            assert got is not None
+            assert got.value == float(i)
+            np.testing.assert_array_equal(got.priors, np.full(9, float(i)))
+
+    def test_refresh_in_place(self):
+        cache = make_cache()
+        game = TicTacToe()
+        cache.put(game, Evaluation(priors=np.zeros(9), value=0.0))
+        cache.put(game, Evaluation(priors=np.ones(9), value=1.0))
+        got = cache.get(game)
+        assert got.value == 1.0
+        assert len(cache) == 1
+
+    def test_priors_shape_validated(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.put(TicTacToe(), Evaluation(priors=np.zeros(5), value=0.0))
+
+
+class TestEvictionAndClear:
+    def test_overwrite_eviction_respects_capacity(self):
+        cache = make_cache(capacity=8, stripes=2)
+        states = distinct_states(40)
+        for i, g in enumerate(states):
+            cache.put(g, Evaluation(priors=np.full(9, float(i)), value=float(i)))
+        assert len(cache) <= cache.capacity
+        assert cache.evictions > 0
+        # survivors still return their own record, never someone else's
+        for i, g in enumerate(states):
+            got = cache.get(g)
+            if got is not None:
+                assert got.value == float(i)
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = make_cache()
+        game = TicTacToe()
+        cache.put(game, UniformEvaluator().evaluate(game))
+        cache.get(game)
+        hits_before = cache.hits
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(game) is None
+        assert cache.hits == hits_before
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SharedEvaluationCache(0)
+        with pytest.raises(ValueError):
+            SharedEvaluationCache(9, capacity=0)
+        with pytest.raises(ValueError):
+            SharedEvaluationCache(9, stripes=0)
+
+
+def _insert_worker(cache, states, value_base):
+    for i, g in enumerate(states):
+        cache.put(g, Evaluation(priors=np.full(9, value_base + i), value=value_base + i))
+
+
+class TestCrossProcess:
+    def test_concurrent_inserts_from_forked_processes(self):
+        ctx = mp.get_context("fork")
+        cache = make_cache(capacity=512, stripes=8)
+        states = distinct_states(30)
+        procs = [
+            ctx.Process(target=_insert_worker, args=(cache, states[i::3], 100.0 * i))
+            for i in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        for i, g in enumerate(states):
+            got = cache.get(g)
+            assert got is not None
+            expected = 100.0 * (i % 3) + i // 3
+            assert got.value == expected
+
+
+class TestSegmentRegistry:
+    def test_alloc_and_unlink(self):
+        registry = SegmentRegistry()
+        arr = alloc_array(registry, (4, 4), np.float64)
+        arr[:] = 7.0
+        names = registry.names()
+        assert len(names) == 1
+        assert os.path.exists(f"/dev/shm/{names[0]}")
+        registry.close()
+        assert not os.path.exists(f"/dev/shm/{names[0]}")
+        registry.close()  # idempotent
+
+    def test_close_tolerates_live_views(self):
+        """Unlink must succeed even while a NumPy view pins the mapping
+        (a SIGKILLed worker never drops its views)."""
+        registry = SegmentRegistry()
+        arr = alloc_array(registry, (16,), np.int64)
+        name = registry.names()[0]
+        registry.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        arr[0] = 42  # the mapping itself is still valid locally
+        assert arr[0] == 42
+
+    def test_create_after_close_rejected(self):
+        registry = SegmentRegistry()
+        registry.close()
+        with pytest.raises(RuntimeError):
+            registry.create(64)

@@ -120,3 +120,35 @@ def test_scheme_matches_serial_action_prior_with_network(scheme_name):
     finally:
         scheme.close()
     np.testing.assert_allclose(prior, expected, atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_engine_backend_matches_serial_episodes(backend):
+    """The same invariant across the *process* boundary: an engine round
+    (thread pool or multiprocess farm) must reproduce a sequential loop
+    of serial searches over the same spawned seeds exactly -- shared
+    caches, cross-game/cross-process batching and shared-memory transport
+    change where evaluations run, never their results."""
+    from repro.serving import MultiGameSelfPlayEngine
+    from repro.training.selfplay import play_episode
+    from repro.utils.rng import new_rng, spawn_rngs
+
+    game = TicTacToe()
+    evaluator = UniformEvaluator()
+    kwargs = {"num_workers": 2} if backend == "process" else {}
+    with MultiGameSelfPlayEngine(
+        game, evaluator, num_games=4, num_playouts=10, rng=0,
+        backend=backend, **kwargs,
+    ) as engine:
+        results, _ = engine.play_round()
+
+    for got, game_rng in zip(results, spawn_rngs(new_rng(0), 4)):
+        expected = play_episode(
+            game, SerialMCTS(evaluator, rng=game_rng), 10, rng=game_rng
+        )
+        assert got.winner == expected.winner
+        assert got.moves == expected.moves
+        for ge, ee in zip(got.examples, expected.examples):
+            np.testing.assert_array_equal(ge.policy, ee.policy)
+            np.testing.assert_array_equal(ge.planes, ee.planes)
+            assert ge.value == ee.value

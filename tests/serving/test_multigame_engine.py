@@ -1,5 +1,7 @@
 """Multi-game engine: round semantics, stats accounting, serial parity."""
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -89,6 +91,130 @@ class TestPlayRound:
             MultiGameSelfPlayEngine(game, UniformEvaluator(), num_games=0)
         with pytest.raises(ValueError):
             MultiGameSelfPlayEngine(game, UniformEvaluator(), num_playouts=0)
+        with pytest.raises(ValueError):
+            MultiGameSelfPlayEngine(game, UniformEvaluator(), backend="fiber")
+
+
+class TestProcessBackend:
+    """backend="process": the engine delegates rounds to a SelfPlayFarm
+    behind the same play_round surface."""
+
+    def test_round_matches_thread_backend(self):
+        """Both backends spawn per-game seeds from the engine rng the same
+        way, so with a deterministic evaluator they produce identical
+        transcripts -- the engine-level scheme-equivalence invariant."""
+        game = TicTacToe()
+        with MultiGameSelfPlayEngine(
+            game, UniformEvaluator(), num_games=4, num_playouts=10, rng=0
+        ) as thread_engine:
+            thread_results, _ = thread_engine.play_round()
+        with MultiGameSelfPlayEngine(
+            game, UniformEvaluator(), num_games=4, num_playouts=10, rng=0,
+            backend="process", num_workers=2,
+        ) as process_engine:
+            process_results, process_stats = process_engine.play_round()
+        for t, p in zip(thread_results, process_results):
+            assert t.winner == p.winner and t.moves == p.moves
+            for te, pe in zip(t.examples, p.examples):
+                np.testing.assert_array_equal(te.policy, pe.policy)
+        assert process_stats.num_workers == 2
+        assert process_stats.worker_restarts == 0
+
+    def test_stats_accounting_consistent(self):
+        with MultiGameSelfPlayEngine(
+            TicTacToe(), UniformEvaluator(), num_games=4, num_playouts=8,
+            rng=0, backend="process", num_workers=2,
+        ) as engine:
+            results, stats = engine.play_round()
+        assert stats.games == 4
+        assert stats.moves == sum(r.moves for r in results)
+        # every request the evaluator process served was a cache miss first
+        assert stats.eval_requests == stats.cache_misses
+        assert stats.eval_batches > 0
+        assert stats.mean_batch_occupancy == pytest.approx(
+            stats.eval_requests / stats.eval_batches
+        )
+        d = stats.as_dict()
+        assert d["num_workers"] == 2 and d["sims_per_sec"] > 0
+
+    def test_batch_size_rejected(self):
+        """batch_size configures the in-process queue the process backend
+        does not have; silently ignoring it would let the two backends
+        diverge behind the same documented knob."""
+        with pytest.raises(ValueError, match="batch_size"):
+            MultiGameSelfPlayEngine(
+                TicTacToe(), UniformEvaluator(), num_games=2,
+                batch_size=8, backend="process",
+            )
+
+    def test_pipeline_integration_with_weight_sync(self):
+        """Process-backend engine inside the training loop: SGD updates
+        the parent's network, the engine must push the new weights into
+        the forked evaluator process and clear the shared cache."""
+        game = TicTacToe()
+        net = build_network_for(game, channels=(2, 4, 4), rng=0)
+        engine = MultiGameSelfPlayEngine(
+            game, NetworkEvaluator(net), num_games=2, num_playouts=6, rng=1,
+            backend="process", num_workers=2,
+        )
+        trainer = Trainer(net, Adam(net.parameters(), lr=1e-3), AlphaZeroLoss())
+        pipeline = TrainingPipeline(
+            game, None, trainer, num_playouts=6, sgd_iterations=1,
+            batch_size=8, rng=2, engine=engine,
+        )
+        with engine:
+            metrics = pipeline.run(2)
+            assert len(engine.cache) == 0  # cleared after the SGD stage
+        assert metrics.episodes == 4
+        assert metrics.eval_requests > 0
+        assert len(metrics.loss_history) == 2
+
+
+def _hammer_counter(counter, n):
+    for _ in range(n):
+        counter.add(1)
+
+
+class TestStatsAtomicityUnderProcessBackend:
+    """PR-1 hardening follow-up: the serving counters stay exact when the
+    mutators are *processes*, not threads."""
+
+    def test_partial_flush_counter_survives_concurrent_processes(self):
+        from repro.farm import FarmCounters
+
+        ctx = mp.get_context("fork")
+        counters = FarmCounters(ctx)
+        procs = [
+            ctx.Process(
+                target=_hammer_counter, args=(counters.partial_flushes, 2000)
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # unsynchronised += across 4 processes loses updates; the atomic
+        # counter must account for every single one
+        assert counters.partial_flushes.value == 8000
+
+    def test_atomic_counter_mixed_increments(self):
+        from repro.farm import AtomicCounter
+
+        ctx = mp.get_context("fork")
+        counter = AtomicCounter(ctx)
+        procs = [
+            ctx.Process(target=_hammer_counter, args=(counter, 1500))
+            for _ in range(3)
+        ]
+        for p in procs:
+            p.start()
+        counter.add(5)
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert counter.value == 3 * 1500 + 5
 
 
 class TestPipelineIntegration:
