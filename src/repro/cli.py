@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="search-tree storage: heap Node objects or the vectorised "
              "structure-of-arrays backend (default)",
     )
+    p_train.add_argument(
+        "--inference-backend", default="fused", choices=["reference", "fused"],
+        help="self-play leaf evaluation: the compiled fused float32 plan "
+             "(default) or the float64 layer-by-layer reference forward; "
+             "SGD always trains in float64",
+    )
 
     p_sp = sub.add_parser(
         "selfplay", help="multi-game batched self-play round (serving engine)"
@@ -115,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument(
         "--workers", type=int, default=2,
         help="worker-process count for --backend process",
+    )
+    p_sp.add_argument(
+        "--inference-backend", default="fused", choices=["reference", "fused"],
+        help="leaf evaluation: compiled fused float32 plan (default) or "
+             "the float64 layer-by-layer reference forward",
     )
     return parser
 
@@ -181,6 +192,7 @@ def cmd_train(args) -> int:
 
     game = _make_game(args.game, args.size)
     net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
+    net.set_inference_backend(args.inference_backend)
     evaluator = NetworkEvaluator(net)
     max_moves = game.board_shape[0] * game.board_shape[1]
     scheme = None
@@ -247,6 +259,7 @@ def cmd_selfplay(args) -> int:
 
     game = _make_game(args.game, args.size)
     net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
+    net.set_inference_backend(args.inference_backend)
     engine = MultiGameSelfPlayEngine(
         game, NetworkEvaluator(net), num_games=args.games,
         num_playouts=args.playouts, cache_capacity=args.cache_capacity,

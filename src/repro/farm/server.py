@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.farm.counters import FarmCounters
 from repro.mcts.evaluation import Evaluator
+from repro.nn.infer import ensure_plan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.farm.rings import EvaluationRings
@@ -76,6 +77,10 @@ def evaluator_main(
 ) -> None:
     """Entry point of the evaluator process (invoked post-fork)."""
     evaluate = resolve_encoded_evaluator(evaluator)
+    # compile the fused plan before serving: the parent's thread-local
+    # workspaces did not survive the fork, and the first worker batch
+    # should not pay compilation either
+    ensure_plan(getattr(evaluator, "network", None))
     by_conn = {conn: wid for wid, conn in enumerate(doorbells)}
     pending: list[tuple[int, int, int]] = []  # (worker_id, slot, epoch)
     oldest = 0.0  # monotonic time of the oldest pending request
@@ -118,6 +123,10 @@ def evaluator_main(
                         control.send(("err", "evaluator has no network"))
                     else:
                         network.load_state_dict(msg[1])
+                        # recompile the fused plan eagerly: load_state_dict
+                        # bumped weights_version, and the weight sync runs
+                        # between rounds -- off the evaluation hot path
+                        ensure_plan(network)
                         control.send(("ok",))
                 continue
             wid = by_conn[conn]

@@ -113,6 +113,13 @@ class NetworkEvaluator(Evaluator):
     renormalisation all run as whole-batch array operations (via
     ``network.predict_batch`` when available), so batch cost does not
     include a per-state Python inner loop.
+
+    For the stock towers ``predict_batch`` executes the compiled fused
+    float32 plan (:mod:`repro.nn.infer`) by default, which also guarantees
+    evaluation can never mutate network state: the plan is an immutable
+    snapshot, and the float64 reference backend forces eval mode for the
+    duration of the call.  Repeated evaluation of the same states is
+    therefore bit-identical even on a network left in training mode.
     """
 
     def __init__(self, network) -> None:

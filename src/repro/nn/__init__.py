@@ -15,9 +15,15 @@ deep-learning dependency:
   learning-rate schedules.
 - :mod:`repro.nn.functional` -- the vectorised primitives (im2col/col2im,
   softmax family) that keep the hot paths in BLAS.
+- :mod:`repro.nn.infer`      -- the fused float32 inference engine:
+  :func:`compile_plan` turns a trained tower into an immutable
+  :class:`InferencePlan` (BatchNorm folded, GEMM-ready weights,
+  zero-allocation thread-local workspaces) that backs the networks'
+  default ``predict``/``predict_batch`` path.
 """
 
 from repro.nn.functional import col2im, im2col, log_softmax, softmax
+from repro.nn.infer import InferencePlan, PlanCompileError, compile_plan, ensure_plan
 from repro.nn.layers import (
     BatchNorm2d,
     Conv2d,
@@ -30,7 +36,12 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.losses import AlphaZeroLoss, LossValue, cross_entropy_with_logits, mse
-from repro.nn.network import NetworkOutput, PolicyValueNet, Sequential
+from repro.nn.network import (
+    FusedInferenceModule,
+    NetworkOutput,
+    PolicyValueNet,
+    Sequential,
+)
 from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, Optimizer, StepLR
 from repro.nn.resnet import ResidualBlock, ResNetPolicyValueNet
 
@@ -44,12 +55,15 @@ __all__ = [
     "CosineLR",
     "Dropout",
     "Flatten",
+    "FusedInferenceModule",
+    "InferencePlan",
     "Linear",
     "LossValue",
     "Module",
     "NetworkOutput",
     "Optimizer",
     "Parameter",
+    "PlanCompileError",
     "PolicyValueNet",
     "ReLU",
     "ResNetPolicyValueNet",
@@ -58,7 +72,9 @@ __all__ = [
     "StepLR",
     "Tanh",
     "col2im",
+    "compile_plan",
     "cross_entropy_with_logits",
+    "ensure_plan",
     "im2col",
     "log_softmax",
     "mse",

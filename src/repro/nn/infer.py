@@ -1,0 +1,564 @@
+"""Fused float32 inference engine: plan compilation over trained towers.
+
+Every evaluator in the system -- serial search, the six parallel schemes,
+the thread engine and the farm's evaluator process -- bottoms out in the
+same pure-NumPy forward pass, and after the PR-2 tree speedups that
+forward *is* the iteration cost (``T_DNN`` in Equations 3-6).  The
+training path cannot change: it needs float64 autodiff with per-layer
+activation caches.  Inference needs none of that, so this module compiles
+a :class:`~repro.nn.layers.Module` tower into an :class:`InferencePlan`,
+an immutable, inference-only executor:
+
+- **BatchNorm folding** -- at compile time every ``Conv2d -> BatchNorm2d``
+  pair collapses into a single convolution whose weights/bias absorb the
+  (snapshotted) running statistics and affine parameters, so BN costs
+  nothing at run time and inference can never mutate running stats;
+- **float32, GEMM-ready weights** -- conv kernels are cast once and
+  pre-reshaped to ``(k*k*C, F)`` matrices, linear weights pre-transposed,
+  so every layer is one ``np.matmul`` with no per-call ``einsum`` path
+  planning;
+- **channels-last execution** -- activations flow through the plan in
+  NHWC layout, which makes the im2col gather copy contiguous runs of C
+  floats, turns 1x1 head convolutions into plain 2-D GEMMs, and lets the
+  whole batch go through one big-M GEMM per layer (the boundary back to
+  the reference NCHW flatten order is a single tiny head-side transpose);
+- **zero-allocation workspaces** -- im2col columns, padded inputs and all
+  activation temporaries are served from a per-plan arena keyed by input
+  shape, so the steady state allocates nothing beyond the (small) output
+  arrays; arenas are thread-local, making a single plan safe to share
+  across all engine threads;
+- **fused elementwise tails** -- ReLU/Tanh run in place on the GEMM
+  output, and residual blocks execute as conv -> conv -> in-place skip
+  add -> in-place ReLU.
+
+Plans are *immutable snapshots*: weight updates after compilation are
+invisible until a recompile.  :class:`~repro.nn.layers.Module` tracks a
+``weights_version`` (bumped by ``load_state_dict`` and the trainer's SGD
+step) and the networks' ``inference_plan()`` accessor recompiles lazily
+whenever the version moved, so the serving engine, the farm's evaluator
+process and the training pipeline all stay coherent without touching the
+hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+
+from repro.nn.functional import conv_out_size, softmax
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Tanh,
+)
+
+__all__ = ["PlanCompileError", "InferencePlan", "compile_plan", "ensure_plan"]
+
+
+class PlanCompileError(TypeError):
+    """The tower contains a layer or structure the compiler cannot fuse."""
+
+
+# ---------------------------------------------------------------------------
+# workspace arena
+# ---------------------------------------------------------------------------
+
+
+class _Workspace:
+    """Preallocated float32 buffers for one (batch, spatial) input shape.
+
+    Buffers are keyed by ``(step_id, role)`` so every step writes into its
+    own stable storage; after the first call with a given input shape the
+    executor performs no large allocations.
+    """
+
+    __slots__ = ("_bufs", "bound")
+
+    def __init__(self) -> None:
+        self._bufs: dict[tuple, np.ndarray] = {}
+        #: per-step caches of pre-bound views (padded interiors, strided
+        #: window views, reshaped GEMM operands), so the steady state does
+        #: no per-call view construction either
+        self.bound: dict[int, tuple] = {}
+
+    def get(self, key: tuple, shape: tuple[int, ...], zero: bool = False) -> np.ndarray:
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != shape:
+            buf = (
+                np.zeros(shape, dtype=np.float32)
+                if zero
+                else np.empty(shape, dtype=np.float32)
+            )
+            self._bufs[key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+
+# ---------------------------------------------------------------------------
+# fused steps
+# ---------------------------------------------------------------------------
+
+
+class _FusedConvStep:
+    """``conv (+folded BN) (+ReLU)`` as one GEMM against a pre-reshaped
+    float32 weight matrix, with im2col served from the workspace.
+
+    Activations are NHWC, so the column matrix is ``(B*oh*ow, k*k*C)``
+    (contiguous C-runs in the gather), the whole batch is one
+    ``(B*L, K) @ (K, F)`` GEMM, and a 1x1 convolution needs no gather at
+    all.  All views the kernel needs -- the padded-buffer interior, the
+    strided im2col window view, the 6-D destination view of the column
+    buffer, the GEMM output and its NHWC reshape -- are constructed once
+    per (workspace, input buffer) and cached, so a steady-state call is
+    exactly ``interior-copy, window-gather, GEMM, bias, ReLU`` with no
+    Python-side array bookkeeping.
+    """
+
+    __slots__ = ("sid", "w", "b", "kernel", "stride", "padding", "relu", "out_channels")
+
+    def __init__(
+        self,
+        sid: int,
+        w: np.ndarray,  # (k*k*C, F) float64 at build time
+        b: np.ndarray,  # (F,)
+        kernel: int,
+        stride: int,
+        padding: int,
+        relu: bool,
+    ) -> None:
+        self.sid = sid
+        self.w = np.ascontiguousarray(w, dtype=np.float32)
+        self.b = np.ascontiguousarray(b, dtype=np.float32)  # (F,), row broadcast
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.relu = relu
+        self.out_channels = self.w.shape[1]
+
+    def _bind(self, x: np.ndarray, ws: _Workspace) -> tuple:
+        """Allocate this step's buffers for *x*'s NHWC shape and pre-build
+        every view of them the per-call kernel touches."""
+        bsz, h, w, c = x.shape
+        k, s, p = self.kernel, self.stride, self.padding
+        oh = conv_out_size(h, k, s, p)
+        ow = conv_out_size(w, k, s, p)
+        if k == 1 and s == 1 and p == 0:
+            # 1x1 convolution: the NHWC input already is the column matrix
+            interior, win6, dst6 = None, None, None
+            cols = x.reshape(bsz * h * w, c)
+        else:
+            if p > 0:
+                # border is zeroed at allocation and never written again;
+                # only the interior view is refreshed per call
+                pad = ws.get(
+                    (self.sid, "pad"), (bsz, h + 2 * p, w + 2 * p, c), zero=True
+                )
+                interior = pad[:, p : p + h, p : p + w, :]
+                src = pad
+            else:
+                interior, src = None, x
+            cols = ws.get((self.sid, "cols"), (bsz * oh * ow, k * k * c))
+            windows = np.lib.stride_tricks.sliding_window_view(
+                src, (k, k), axis=(1, 2)
+            )  # (B, oh', ow', C, k, k)
+            if s > 1:
+                windows = windows[:, ::s, ::s]
+            win6 = windows.transpose(0, 1, 2, 4, 5, 3)  # (B, oh, ow, k, k, C)
+            dst6 = cols.reshape(bsz, oh, ow, k, k, c)
+        out = ws.get((self.sid, "out"), (bsz * oh * ow, self.out_channels))
+        return (x, interior, win6, dst6, cols, out, out.reshape(bsz, oh, ow, self.out_channels))
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        bound = ws.bound.get(self.sid)
+        if bound is None or bound[0] is not x:
+            bound = self._bind(x, ws)
+            ws.bound[self.sid] = bound
+        _, interior, win6, dst6, cols, out, out4 = bound
+        if interior is not None:
+            interior[...] = x
+        if dst6 is not None:
+            # strided gather straight into the preallocated column buffer
+            np.copyto(dst6, win6)
+        np.matmul(cols, self.w, out=out)
+        out += self.b
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out4
+
+
+class _ResidualStep:
+    """AlphaZero block: conv+BN+ReLU, conv+BN, in-place skip add, in-place
+    ReLU.  Both convolutions already carry their folded BatchNorms."""
+
+    __slots__ = ("conv1", "conv2")
+
+    def __init__(self, conv1: _FusedConvStep, conv2: _FusedConvStep) -> None:
+        self.conv1 = conv1
+        self.conv2 = conv2
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        h = self.conv1.run(x, ws)
+        out = self.conv2.run(h, ws)
+        out += x  # skip connection, in place on conv2's workspace buffer
+        np.maximum(out, 0.0, out=out)
+        return out
+
+
+class _AffineStep:
+    """Per-channel ``y = x * scale + shift`` (a BatchNorm2d that has no
+    preceding convolution to fold into), optionally fused with ReLU.
+    NHWC puts channels last, so the per-channel vectors broadcast as-is."""
+
+    __slots__ = ("sid", "scale", "shift", "relu")
+
+    def __init__(self, sid: int, scale: np.ndarray, shift: np.ndarray, relu: bool) -> None:
+        self.sid = sid
+        self.scale = np.ascontiguousarray(scale, dtype=np.float32)
+        self.shift = np.ascontiguousarray(shift, dtype=np.float32)
+        self.relu = relu
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        out = ws.get((self.sid, "out"), x.shape)
+        np.multiply(x, self.scale, out=out)
+        out += self.shift
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+class _FlattenStep:
+    """NHWC -> flat ``(B, C*H*W)`` in the *reference NCHW order*, so the
+    following Linear weights apply unchanged.  This is the single place
+    the channels-last execution layout shows; it runs on head tensors with
+    1-4 channels, so the transpose copy is tiny."""
+
+    __slots__ = ("sid",)
+
+    def __init__(self, sid: int) -> None:
+        self.sid = sid
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        bound = ws.bound.get(self.sid)
+        if bound is None or bound[0] is not x:
+            bsz, h, w, c = x.shape
+            flat = ws.get((self.sid, "out"), (bsz, c * h * w))
+            bound = (x, x.transpose(0, 3, 1, 2), flat.reshape(bsz, c, h, w), flat)
+            ws.bound[self.sid] = bound
+        _, src_nchw, dst_nchw, flat = bound
+        np.copyto(dst_nchw, src_nchw)
+        return flat
+
+
+class _LinearStep:
+    """``y = x @ W.T (+ b)`` with the weight pre-transposed at compile time,
+    optionally fused with an in-place ReLU or Tanh."""
+
+    __slots__ = ("sid", "wt", "b", "act", "out_features")
+
+    def __init__(
+        self, sid: int, wt: np.ndarray, b: np.ndarray | None, act: str | None
+    ) -> None:
+        self.sid = sid
+        self.wt = np.ascontiguousarray(wt, dtype=np.float32)  # (in, out)
+        self.b = None if b is None else np.ascontiguousarray(b, dtype=np.float32)
+        self.act = act
+        self.out_features = self.wt.shape[1]
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        out = ws.get((self.sid, "out"), (x.shape[0], self.out_features))
+        np.matmul(x, self.wt, out=out)
+        if self.b is not None:
+            out += self.b
+        if self.act == "relu":
+            np.maximum(out, 0.0, out=out)
+        elif self.act == "tanh":
+            np.tanh(out, out=out)
+        return out
+
+
+class _ActStep:
+    """Standalone ReLU/Tanh that could not be fused into a producer."""
+
+    __slots__ = ("sid", "act")
+
+    def __init__(self, sid: int, act: str) -> None:
+        self.sid = sid
+        self.act = act
+
+    def run(self, x: np.ndarray, ws: _Workspace) -> np.ndarray:
+        out = ws.get((self.sid, "out"), x.shape)
+        if self.act == "relu":
+            np.maximum(x, 0.0, out=out)
+        else:
+            np.tanh(x, out=out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def _fold_bn(w: np.ndarray, b: np.ndarray, bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode BatchNorm into the preceding conv's ``(w, b)``.
+
+    ``BN(conv(x)) = gamma * (conv(x) - mean) / sqrt(var + eps) + beta``
+    collapses to a convolution with per-output-channel rescaled weights and
+    a shifted bias.  Running statistics are *snapshotted here*: the plan is
+    a frozen function of the weights at compile time.
+    """
+    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+    return w * scale[:, None, None, None], (b - bn.running_mean) * scale + bn.beta.data
+
+
+def _compile_conv(
+    conv: Conv2d, bn: BatchNorm2d | None, relu: bool, sid: int, stats: dict
+) -> _FusedConvStep:
+    w = conv.weight.data  # (F, C, k, k)
+    b = (
+        conv.bias.data
+        if conv.bias is not None
+        else np.zeros(conv.out_channels, dtype=np.float64)
+    )
+    if bn is not None:
+        w, b = _fold_bn(w, b, bn)
+        stats["folded_batchnorms"] += 1
+    # GEMM-ready for NHWC columns: K-axis ordered (k_h, k_w, C), F last
+    w_mat = w.transpose(2, 3, 1, 0).reshape(-1, conv.out_channels)
+    return _FusedConvStep(
+        sid, w_mat, b, conv.kernel_size, conv.stride, conv.padding, relu
+    )
+
+
+def _compile_chain(layers: list[Module], ids: "itertools.count", stats: dict) -> list:
+    """Compile a Sequential's layer list into fused steps, with lookahead
+    fusion of Conv2d+BatchNorm2d+ReLU and Linear+ReLU/Tanh runs."""
+    steps: list = []
+    i = 0
+    n = len(layers)
+    while i < n:
+        layer = layers[i]
+        if isinstance(layer, Conv2d):
+            bn = None
+            if i + 1 < n and isinstance(layers[i + 1], BatchNorm2d):
+                bn = layers[i + 1]
+                i += 1
+            relu = False
+            if i + 1 < n and isinstance(layers[i + 1], ReLU):
+                relu = True
+                i += 1
+            steps.append(_compile_conv(layer, bn, relu, next(ids), stats))
+        elif isinstance(layer, Linear):
+            act = None
+            if i + 1 < n and isinstance(layers[i + 1], (ReLU, Tanh)):
+                act = "relu" if isinstance(layers[i + 1], ReLU) else "tanh"
+                i += 1
+            steps.append(
+                _LinearStep(
+                    next(ids),
+                    layer.weight.data.T,
+                    None if layer.bias is None else layer.bias.data,
+                    act,
+                )
+            )
+        elif isinstance(layer, BatchNorm2d):
+            scale = layer.gamma.data / np.sqrt(layer.running_var + layer.eps)
+            shift = layer.beta.data - layer.running_mean * scale
+            relu = False
+            if i + 1 < n and isinstance(layers[i + 1], ReLU):
+                relu = True
+                i += 1
+            steps.append(_AffineStep(next(ids), scale, shift, relu))
+        elif isinstance(layer, Flatten):
+            steps.append(_FlattenStep(next(ids)))
+        elif isinstance(layer, ReLU):
+            steps.append(_ActStep(next(ids), "relu"))
+        elif isinstance(layer, Tanh):
+            steps.append(_ActStep(next(ids), "tanh"))
+        elif isinstance(layer, Dropout):
+            pass  # identity at inference
+        else:
+            raise PlanCompileError(
+                f"cannot compile layer of type {type(layer).__name__}; "
+                "supported: Conv2d, Linear, BatchNorm2d, ReLU, Tanh, "
+                "Flatten, Dropout"
+            )
+        i += 1
+    return steps
+
+
+def _compile_residual(block, ids: "itertools.count", stats: dict) -> _ResidualStep:
+    return _ResidualStep(
+        _compile_conv(block.conv1, block.bn1, relu=True, sid=next(ids), stats=stats),
+        _compile_conv(block.conv2, block.bn2, relu=False, sid=next(ids), stats=stats),
+    )
+
+
+class InferencePlan:
+    """Immutable fused float32 executor for a policy/value tower.
+
+    Built by :func:`compile_plan`; run via :meth:`predict`.  The compiled
+    weights are private float32 copies, so the plan stays valid (and
+    bit-stable) no matter what happens to the source network afterwards --
+    staleness is detected through :attr:`weights_version`, not aliasing.
+
+    Thread safety: all mutable run-time state (the workspace arenas) is
+    thread-local, so one plan may be shared by any number of engine
+    threads; every thread pays its own first-call allocation and then runs
+    allocation-free.
+    """
+
+    def __init__(
+        self,
+        trunk: list,
+        policy: list,
+        value: list,
+        weights_version: int,
+        in_channels: int,
+        board_shape: tuple[int, int],
+        folded_batchnorms: int,
+    ) -> None:
+        self._trunk = trunk
+        self._policy = policy
+        self._value = value
+        self.weights_version = weights_version
+        self.in_channels = in_channels
+        self.board_shape = board_shape
+        self.folded_batchnorms = folded_batchnorms
+        self._tls = threading.local()
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return len(self._trunk) + len(self._policy) + len(self._value)
+
+    def workspace_nbytes(self) -> int:
+        """Bytes held by the *calling thread's* arenas (0 before first use)."""
+        arenas = getattr(self._tls, "arenas", None)
+        if not arenas:
+            return 0
+        return sum(ws.nbytes for ws in arenas.values())
+
+    #: arenas retained per thread; each distinct input shape (in practice:
+    #: each distinct batch size) owns one, and queue/farm evaluators flush
+    #: at varying occupancy, so an unbounded map would slowly accumulate a
+    #: multi-MB arena per batch size ever seen.  LRU-evicting beyond this
+    #: cap bounds retention; a re-observed shape just rebinds (~100us).
+    MAX_ARENAS_PER_THREAD = 8
+
+    # -- execution --------------------------------------------------------
+    def _workspace(self, shape: tuple[int, ...]) -> _Workspace:
+        arenas = getattr(self._tls, "arenas", None)
+        if arenas is None:
+            arenas = {}
+            self._tls.arenas = arenas
+        ws = arenas.pop(shape, None)
+        if ws is None:
+            ws = _Workspace()
+            while len(arenas) >= self.MAX_ARENAS_PER_THREAD:
+                arenas.pop(next(iter(arenas)))  # least recently used
+        arenas[shape] = ws  # (re)insert at the most-recent end
+        return ws
+
+    def predict(self, states: np.ndarray):
+        """Fused forward pass: ``(B, C, H, W)`` (or a single ``(C, H, W)``)
+        -> :class:`~repro.nn.network.NetworkOutput` with float64 outputs.
+
+        The returned arrays are freshly allocated (they do not alias the
+        workspace), so callers may keep them across subsequent calls.
+        """
+        from repro.nn.network import NetworkOutput  # import cycle guard
+
+        states = np.asarray(states)
+        if states.ndim == 3:
+            states = states[None]
+        if states.ndim != 4 or states.shape[1] != self.in_channels:
+            raise ValueError(
+                f"plan expects (B, {self.in_channels}, H, W), got {states.shape}"
+            )
+        ws = self._workspace(states.shape)
+        bsz, c, h, w = states.shape
+        x = ws.get(("in",), (bsz, h, w, c))
+        # single cast to float32, transposed into the plan's NHWC layout
+        np.copyto(x, states.transpose(0, 2, 3, 1))
+        for step in self._trunk:
+            x = step.run(x, ws)
+        p = x
+        for step in self._policy:
+            p = step.run(p, ws)
+        v = x
+        for step in self._value:
+            v = step.run(v, ws)
+        # small fresh outputs: cast up once, softmax in float64 to mirror
+        # the reference post-processing exactly
+        logits = p.astype(np.float64)
+        value = v.reshape(-1).astype(np.float64)
+        return NetworkOutput(
+            policy=softmax(logits, axis=-1), value=value, logits=logits
+        )
+
+    __call__ = predict
+
+
+def compile_plan(network: Module) -> InferencePlan:
+    """Compile a policy/value tower into an :class:`InferencePlan`.
+
+    Supports any network shaped like the two stock towers: either a
+    ``trunk`` Sequential (:class:`~repro.nn.network.PolicyValueNet`) or a
+    ``stem`` Sequential plus a ``blocks`` list of residual blocks
+    (:class:`~repro.nn.resnet.ResNetPolicyValueNet`), followed by
+    ``policy_head`` / ``value_head`` Sequentials of fusable layers.
+    """
+    ids = itertools.count()
+    stats = {"folded_batchnorms": 0}
+    if hasattr(network, "trunk"):
+        trunk = _compile_chain(network.trunk.layers, ids, stats)
+    elif hasattr(network, "stem") and hasattr(network, "blocks"):
+        trunk = _compile_chain(network.stem.layers, ids, stats)
+        trunk.extend(_compile_residual(b, ids, stats) for b in network.blocks)
+    else:
+        raise PlanCompileError(
+            f"{type(network).__name__} has neither a 'trunk' nor a "
+            "'stem'+'blocks' tower; cannot compile an inference plan"
+        )
+    if not (hasattr(network, "policy_head") and hasattr(network, "value_head")):
+        raise PlanCompileError(
+            f"{type(network).__name__} lacks policy_head/value_head"
+        )
+    policy = _compile_chain(network.policy_head.layers, ids, stats)
+    value = _compile_chain(network.value_head.layers, ids, stats)
+    return InferencePlan(
+        trunk,
+        policy,
+        value,
+        weights_version=getattr(network, "weights_version", 0),
+        in_channels=network.in_channels,
+        board_shape=network.board_shape,
+        folded_batchnorms=stats["folded_batchnorms"],
+    )
+
+
+def ensure_plan(network) -> InferencePlan | None:
+    """Compile (or refresh) *network*'s fused plan off the hot path.
+
+    Used by the serving engine and the farm's evaluator process at startup
+    and after weight re-syncs, so the first real evaluation batch never
+    pays compilation.  Returns ``None`` (and does nothing) for networks
+    without fused-inference support or with the reference backend selected.
+    """
+    if getattr(network, "inference_backend", None) != "fused":
+        return None
+    accessor = getattr(network, "inference_plan", None)
+    if accessor is None:
+        return None
+    return accessor()

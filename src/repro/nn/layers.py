@@ -16,6 +16,15 @@ Conventions
   those caches; a layer instance is therefore *not* safe for concurrent
   training from multiple threads, matching the paper's single training
   stream.
+
+Thread safety for *inference* is a different story: evaluators never call
+``forward`` on these layers directly -- they go through the networks'
+``predict``/``predict_batch``, which by default execute a compiled
+:class:`repro.nn.infer.InferencePlan`.  Plans hold immutable float32
+copies of the weights and keep all run-time temporaries in thread-local
+workspaces, so one plan (hence one network) is safe to share across any
+number of search/engine threads.  Only the float64 reference path (and
+training itself) remains single-threaded per module instance.
 """
 
 from __future__ import annotations
@@ -67,8 +76,21 @@ class Parameter:
 class Module:
     """Base class: parameter discovery, train/eval mode, (de)serialisation."""
 
+    #: names of non-trainable state arrays this module owns (e.g. BatchNorm
+    #: running statistics).  Serialised by :meth:`state_dict` alongside the
+    #: parameters: inference folds them into compiled plans, so dropping
+    #: them on save/load or cross-process weight sync would silently change
+    #: outputs.
+    _buffer_names: tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.training = True
+        #: monotonically increasing counter of weight rewrites; compiled
+        #: inference plans snapshot it to detect staleness.  Bumped by
+        #: :meth:`load_state_dict` and by the trainer after each SGD step
+        #: (in-place ``Parameter.data`` edits cannot be observed, so any
+        #: other direct weight mutation must call :meth:`bump_weights_version`).
+        self.weights_version = 0
 
     # -- graph ------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -102,6 +124,10 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def bump_weights_version(self) -> None:
+        """Record that this module's weights changed (see ``weights_version``)."""
+        self.weights_version += 1
+
     # -- mode -------------------------------------------------------------
     def train(self) -> "Module":
         self._set_mode(True)
@@ -121,15 +147,39 @@ class Module:
                     if isinstance(item, Module):
                         item._set_mode(training)
 
+    def _buffer_slots(self) -> list[tuple["Module", str]]:
+        """(owner, attribute) pairs for every buffer, depth-first -- owners
+        are returned rather than arrays because layers may rebind the
+        attribute (BatchNorm reassigns its running stats every training
+        forward), so loading must go through ``setattr``."""
+        slots: list[tuple[Module, str]] = [
+            (self, name) for name in self._buffer_names
+        ]
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                slots.extend(value._buffer_slots())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        slots.extend(item._buffer_slots())
+        return slots
+
     # -- (de)serialisation --------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
-        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+        state = {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+        for i, (owner, name) in enumerate(self._buffer_slots()):
+            state[f"b{i}"] = np.asarray(getattr(owner, name)).copy()
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         params = self.parameters()
-        if len(state) != len(params):
+        slots = self._buffer_slots()
+        if len(state) == len(params):
+            slots = []  # legacy checkpoint without buffers: keep current ones
+        elif len(state) != len(params) + len(slots):
             raise ValueError(
-                f"state has {len(state)} tensors, module has {len(params)} parameters"
+                f"state has {len(state)} tensors, module has {len(params)} "
+                f"parameters + {len(slots)} buffers"
             )
         for i, p in enumerate(params):
             tensor = state[f"p{i}"]
@@ -139,6 +189,16 @@ class Module:
                     f"{tensor.shape} vs {p.data.shape}"
                 )
             p.data[...] = tensor
+        for i, (owner, name) in enumerate(slots):
+            tensor = state[f"b{i}"]
+            current = np.asarray(getattr(owner, name))
+            if tensor.shape != current.shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {i} ({name}): "
+                    f"{tensor.shape} vs {current.shape}"
+                )
+            setattr(owner, name, tensor.astype(current.dtype, copy=True))
+        self.bump_weights_version()
 
 
 class Linear(Module):
@@ -227,7 +287,9 @@ class Conv2d(Module):
         self._cols = cols
         self._x_shape = x.shape
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (F, C*k*k)
-        out = np.einsum("fk,bkl->bfl", w_mat, cols, optimize=True)
+        # broadcasting matmul (F,K) @ (B,K,L) -> (B,F,L): straight to BLAS,
+        # no per-call einsum contraction-path planning on the training path
+        out = np.matmul(w_mat, cols)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
         return out.reshape(b, self.out_channels, oh, ow)
@@ -236,13 +298,14 @@ class Conv2d(Module):
         assert self._cols is not None and self._x_shape is not None
         b, f, oh, ow = grad_out.shape
         g = grad_out.reshape(b, f, oh * ow)  # (B, F, L)
-        # dW = sum_b g_b @ cols_b.T
-        gw = np.einsum("bfl,bkl->fk", g, self._cols, optimize=True)
+        # dW = sum_b g_b @ cols_b.T, folded into a single (F, B*L)x(B*L, K)
+        # GEMM by tensordot -- again no einsum path recomputation per step
+        gw = np.tensordot(g, self._cols, axes=([0, 2], [0, 2]))  # (F, K)
         self.weight.grad += gw.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += g.sum(axis=(0, 2))
         w_mat = self.weight.data.reshape(f, -1)  # (F, K)
-        grad_cols = np.einsum("fk,bfl->bkl", w_mat, g, optimize=True)
+        grad_cols = np.matmul(w_mat.T, g)  # (K,F) @ (B,F,L) -> (B,K,L)
         k, s, p = self.kernel_size, self.stride, self.padding
         return col2im(grad_cols, self._x_shape, k, k, s, p)
 
@@ -291,6 +354,8 @@ class Flatten(Module):
 
 class BatchNorm2d(Module):
     """Per-channel batch normalisation with running statistics."""
+
+    _buffer_names = ("running_mean", "running_var")
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
         super().__init__()

@@ -15,6 +15,7 @@ Total: 5 conv + 3 FC, matching the paper's Gomoku network.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +24,7 @@ from repro.nn.functional import softmax
 from repro.nn.layers import Conv2d, Flatten, Linear, Module, ReLU, Tanh
 from repro.utils.rng import new_rng
 
-__all__ = ["Sequential", "NetworkOutput", "PolicyValueNet"]
+__all__ = ["Sequential", "NetworkOutput", "FusedInferenceModule", "PolicyValueNet"]
 
 
 class Sequential(Module):
@@ -66,7 +67,134 @@ class NetworkOutput:
     logits: np.ndarray  # (B, A) raw policy-head outputs
 
 
-class PolicyValueNet(Module):
+class FusedInferenceModule(Module):
+    """Inference plumbing shared by the policy/value towers.
+
+    Provides the ``predict`` / ``predict_batch`` entry points every
+    evaluator uses, backed by one of two backends:
+
+    - ``"fused"`` (default): a compiled :class:`repro.nn.infer.InferencePlan`
+      -- BatchNorm folded, float32 GEMM-ready weights, zero-allocation
+      thread-local workspaces.  Compiled lazily and re-compiled whenever
+      :attr:`~Module.weights_version` moves (``load_state_dict``, the
+      trainer's SGD step, or an explicit :meth:`invalidate_plan`).
+    - ``"reference"``: the float64 layer-by-layer forward, forced into
+      eval mode for the duration of the call so inference can never
+      mutate BatchNorm running statistics or dropout state.
+
+    Training is untouched either way: ``forward``/``backward`` remain the
+    float64 autodiff path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inference_backend = "fused"
+        self._plan = None
+        # the reference path toggles the module-wide train/eval flag; engine
+        # threads can evaluate concurrently, so the toggle+forward+restore
+        # must be atomic or thread B would run (and mutate BatchNorm stats)
+        # in training mode while thread A restores.  The fused path needs no
+        # lock -- plans are immutable with thread-local workspaces.
+        self._reference_lock = threading.Lock()
+
+    # -- backend selection -------------------------------------------------
+    def set_inference_backend(self, backend: str) -> "FusedInferenceModule":
+        """Select ``"fused"`` (compiled float32 plan) or ``"reference"``
+        (float64 eval-mode forward) for ``predict``/``predict_batch``."""
+        if backend not in ("fused", "reference"):
+            raise ValueError(
+                f"unknown inference backend {backend!r}; "
+                "expected 'fused' or 'reference'"
+            )
+        self.inference_backend = backend
+        if backend == "reference":
+            self._plan = None
+        return self
+
+    def invalidate_plan(self) -> None:
+        """Drop the compiled plan (next fused call recompiles).  Needed only
+        after weight mutations that bypass ``load_state_dict`` and the
+        trainer (which both bump ``weights_version`` themselves)."""
+        self._plan = None
+
+    def inference_plan(self):
+        """The current compiled plan, (re)compiling if absent or stale."""
+        plan = self._plan
+        if plan is None or plan.weights_version != self.weights_version:
+            from repro.nn.infer import compile_plan  # deferred: import cycle
+
+            plan = compile_plan(self)
+            self._plan = plan
+        return plan
+
+    # -- inference entry points --------------------------------------------
+    def predict(self, states: np.ndarray) -> NetworkOutput:
+        """Inference entry point used by MCTS evaluators.
+
+        Accepts a single state ``(C, H, W)`` or a batch ``(B, C, H, W)``.
+        Never mutates network state (BatchNorm statistics, caches): the
+        fused backend executes an immutable compiled snapshot; the
+        reference backend runs with eval mode forced.
+        """
+        states = np.asarray(states)
+        if states.ndim == 3:
+            states = states[None]
+        if self.inference_backend == "fused":
+            return self.inference_plan().predict(states)
+        return self._reference_forward(np.asarray(states, dtype=np.float64))
+
+    def predict_batch(
+        self, states: np.ndarray, legal_masks: np.ndarray | None = None
+    ) -> NetworkOutput:
+        """Fully vectorised batched inference with optional legality masking.
+
+        The whole batch flows through the network as one stacked array --
+        the accelerator-queue payload of Section 3.3 -- and, when
+        *legal_masks* ``(B, A)`` is given, illegal-move masking and
+        renormalisation are applied as batched array ops rather than a
+        per-state Python loop.  Rows whose legal probability mass underflows
+        fall back to uniform-over-legal (mirroring
+        :func:`repro.mcts.evaluation.mask_and_normalize`).
+        """
+        out = self.predict(states)
+        if legal_masks is None:
+            return out
+        # single source of the legality-normalisation contract
+        from repro.mcts.evaluation import mask_and_normalize
+
+        policy = mask_and_normalize(out.policy, legal_masks)
+        return NetworkOutput(policy=policy, value=out.value, logits=out.logits)
+
+    def _reference_forward(self, states: np.ndarray) -> NetworkOutput:
+        """Float64 forward with eval mode forced for the duration.
+
+        Inference through a network left in training mode used to silently
+        update BatchNorm running statistics -- changing outputs between
+        identical calls and corrupting the statistics training relies on.
+        Serialised: the mode flag is module-global state, so concurrent
+        reference-backend evaluation takes a lock (the default fused
+        backend runs lock-free).
+        """
+        with self._reference_lock:
+            was_training = self.training
+            if was_training:
+                self.eval()
+            try:
+                return self.forward(states)
+            finally:
+                if was_training:
+                    self.train()
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str) -> None:
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+
+class PolicyValueNet(FusedInferenceModule):
     """The paper's 5-conv + 3-FC policy/value network.
 
     Parameters
@@ -143,42 +271,5 @@ class PolicyValueNet(Module):
         gh_value = self.value_head.backward(grad_value.reshape(-1, 1))
         return self.trunk.backward(gh_policy + gh_value)
 
-    def predict(self, states: np.ndarray) -> NetworkOutput:
-        """Inference entry point used by MCTS evaluators.
-
-        Accepts a single state ``(C, H, W)`` or a batch ``(B, C, H, W)``.
-        """
-        states = np.asarray(states, dtype=np.float64)
-        if states.ndim == 3:
-            states = states[None]
-        return self.forward(states)
-
-    def predict_batch(
-        self, states: np.ndarray, legal_masks: np.ndarray | None = None
-    ) -> NetworkOutput:
-        """Fully vectorised batched inference with optional legality masking.
-
-        The whole batch flows through the network as one stacked array --
-        the accelerator-queue payload of Section 3.3 -- and, when
-        *legal_masks* ``(B, A)`` is given, illegal-move masking and
-        renormalisation are applied as batched array ops rather than a
-        per-state Python loop.  Rows whose legal probability mass underflows
-        fall back to uniform-over-legal (mirroring
-        :func:`repro.mcts.evaluation.mask_and_normalize`).
-        """
-        out = self.predict(states)
-        if legal_masks is None:
-            return out
-        # single source of the legality-normalisation contract
-        from repro.mcts.evaluation import mask_and_normalize
-
-        policy = mask_and_normalize(out.policy, legal_masks)
-        return NetworkOutput(policy=policy, value=out.value, logits=out.logits)
-
-    # -- persistence ---------------------------------------------------------
-    def save(self, path: str) -> None:
-        np.savez(path, **self.state_dict())
-
-    def load(self, path: str) -> None:
-        with np.load(path) as data:
-            self.load_state_dict({k: data[k] for k in data.files})
+    # predict / predict_batch / save / load come from FusedInferenceModule:
+    # fused float32 plan by default, float64 eval-forced reference otherwise.

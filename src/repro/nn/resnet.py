@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.nn.functional import softmax
 from repro.nn.layers import BatchNorm2d, Conv2d, Flatten, Linear, Module, ReLU, Tanh
-from repro.nn.network import NetworkOutput, Sequential
+from repro.nn.network import FusedInferenceModule, NetworkOutput, Sequential
 from repro.utils.rng import new_rng
 
 __all__ = ["ResidualBlock", "ResNetPolicyValueNet"]
@@ -50,7 +50,7 @@ class ResidualBlock(Module):
         return gh + g
 
 
-class ResNetPolicyValueNet(Module):
+class ResNetPolicyValueNet(FusedInferenceModule):
     """Residual tower + the standard AlphaZero policy/value heads.
 
     Parameters
@@ -125,15 +125,7 @@ class ResNetPolicyValueNet(Module):
             gh = block.backward(gh)
         return self.stem.backward(gh)
 
-    def predict(self, states: np.ndarray) -> NetworkOutput:
-        states = np.asarray(states, dtype=np.float64)
-        if states.ndim == 3:
-            states = states[None]
-        return self.forward(states)
-
-    def save(self, path: str) -> None:
-        np.savez(path, **self.state_dict())
-
-    def load(self, path: str) -> None:
-        with np.load(path) as data:
-            self.load_state_dict({k: data[k] for k in data.files})
+    # predict / predict_batch / save / load come from FusedInferenceModule;
+    # in particular the residual tower now has the vectorised masked
+    # predict_batch surface, so NetworkEvaluator batches it like the plain
+    # tower instead of falling back to per-call masking.

@@ -43,6 +43,7 @@ from repro.games.base import Game
 from repro.mcts.backend import TreeBackend, resolve_backend
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.serial import SerialMCTS
+from repro.nn.infer import ensure_plan
 from repro.parallel.evaluator import BatchingEvaluator
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.training.selfplay import EpisodeResult, play_episode
@@ -176,6 +177,11 @@ class MultiGameSelfPlayEngine:
         self.temperature = temperature
         self.max_moves = max_moves
         self.rng = new_rng(rng)
+        # compile the fused inference plan up front (no-op for network-less
+        # or reference-backend evaluators) so the round's first batch never
+        # pays plan compilation; the farm's evaluator process does the same
+        # on its side of the fork
+        ensure_plan(getattr(evaluator, "network", None))
 
         self._farm = None
         if backend == "process":

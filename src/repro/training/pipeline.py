@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.games.base import Game
+from repro.nn.infer import ensure_plan
 from repro.training.dataset import ReplayBuffer, TrainingExample
 from repro.training.metrics import TrainingMetrics
 from repro.training.selfplay import play_episode
@@ -223,6 +224,12 @@ class TrainingPipeline:
             # next round's self-play data.  (cache is None only for a
             # process-backend engine built with caching disabled.)
             self.engine.cache.clear()
+        # the compiled inference plan is equally stale (train_step bumped
+        # weights_version); recompile here, between the SGD stage and the
+        # next round, rather than inside the first leaf evaluation.  The
+        # process backend instead recompiles inside the evaluator process
+        # when the engine re-syncs weights at the next round's start.
+        ensure_plan(getattr(self.trainer, "network", None))
 
     def run(
         self,

@@ -45,6 +45,9 @@ class Trainer:
         )
         net.backward(loss.grad_logits, loss.grad_value)
         self.optimizer.step()
+        # the optimiser rewrote Parameter.data in place, which no hook can
+        # observe: record the change so compiled inference plans recompile
+        net.bump_weights_version()
         self.steps += 1
         return loss
 
