@@ -19,9 +19,11 @@ Subpackages
   profiling, Algorithm-4 batch-size search, adaptive scheme selection.
 - :mod:`repro.training`  -- Algorithm-1 training pipeline (self-play data
   collection + SGD).
-- :mod:`repro.serving`   -- cross-game batched self-play engine: many
+- :mod:`repro.serving`   -- cross-game batched self-play engine (many
   concurrent games multiplexed through one accelerator queue with an LRU
-  evaluation cache in front.
+  evaluation cache in front) and the async match-serving gateway:
+  deadline-budgeted game sessions with admission control and latency
+  percentiles over a newline-JSON TCP wire layer.
 """
 
 __version__ = "1.0.0"

@@ -15,6 +15,11 @@ train     : run the Algorithm-1 training loop at small scale; with
 selfplay  : run one multi-game batched self-play round and print the
     serving statistics (games/sec, batch occupancy, cache hit rate);
     ``--backend process --workers N`` runs the round on the farm.
+serve     : start the async match-serving gateway -- concurrent game
+    sessions answered under a per-move wall-clock deadline
+    (``--deadline-ms``), with admission control and latency percentiles;
+    ``--demo-games K`` plays K concurrent engine-vs-engine sessions
+    through the TCP client and exits (the CI smoke path).
 """
 
 from __future__ import annotations
@@ -28,15 +33,9 @@ __all__ = ["main", "build_parser"]
 
 
 def _make_game(name: str, size: int):
-    from repro.games import ConnectFour, Gomoku, TicTacToe
+    from repro.games import make_game
 
-    if name == "gomoku":
-        return Gomoku(size, min(5, size))
-    if name == "tictactoe":
-        return TicTacToe()
-    if name == "connect4":
-        return ConnectFour()
-    raise ValueError(f"unknown game {name!r}")
+    return make_game(name, size)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--inference-backend", default="fused", choices=["reference", "fused"],
         help="leaf evaluation: compiled fused float32 plan (default) or "
              "the float64 layer-by-layer reference forward",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="async match-serving gateway (deadline-budgeted moves)"
+    )
+    p_srv.add_argument("--game", default="tictactoe",
+                       choices=["gomoku", "tictactoe", "connect4"])
+    p_srv.add_argument("--size", type=int, default=9, help="board size (gomoku)")
+    p_srv.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="search executor: thread pool over the shared cached "
+             "evaluator (warm per-session trees) or forked worker "
+             "processes (stateless per-move searches)",
+    )
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="search executor size (threads or processes)")
+    p_srv.add_argument("--deadline-ms", type=float, default=200.0,
+                       help="default per-move wall-clock budget")
+    p_srv.add_argument("--playouts", type=int, default=256,
+                       help="per-move playout cap (deadline binds first)")
+    p_srv.add_argument("--max-inflight", type=int, default=None,
+                       help="concurrent moves admitted before 503-style "
+                            "rejection (default 2x workers)")
+    p_srv.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="seconds of inactivity before a session is expired")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = kernel-assigned, printed at startup)")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--tree-backend", default="array", choices=["node", "array"],
+    )
+    p_srv.add_argument(
+        "--evaluator", default="network", choices=["network", "uniform"],
+        help="serve a freshly-initialised policy/value net (default) or "
+             "uniform priors (latency testing without inference cost)",
+    )
+    p_srv.add_argument(
+        "--inference-backend", default="fused", choices=["reference", "fused"],
+    )
+    p_srv.add_argument(
+        "--demo-games", type=int, default=0,
+        help="play K concurrent engine-vs-engine demo sessions through "
+             "the TCP client, print stats, and exit (0 = serve forever)",
     )
     return parser
 
@@ -280,6 +323,95 @@ def cmd_selfplay(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.games import build_network_for
+    from repro.mcts import NetworkEvaluator, UniformEvaluator
+    from repro.serving import GatewayClient, GatewayServer, MatchGateway
+    from repro.serving.service import build_game
+
+    game = build_game(args.game, args.size)
+    template = None
+    if args.evaluator == "network":
+        net = build_network_for(game, channels=(8, 16, 16), rng=args.seed)
+        net.set_inference_backend(args.inference_backend)
+        evaluator = NetworkEvaluator(net)
+        template = game  # the net only fits this game: reject mismatches
+    else:
+        evaluator = UniformEvaluator()
+    gateway = MatchGateway(
+        evaluator,
+        game_template=template,
+        backend=args.backend,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        num_playouts=args.playouts,
+        max_inflight=args.max_inflight,
+        idle_timeout_s=args.idle_timeout,
+        tree_backend=args.tree_backend,
+        seed=args.seed + 1,
+    )
+
+    async def demo_session(host: str, port: int) -> tuple[int, int]:
+        from repro.serving import GatewayOverloaded
+
+        client = await GatewayClient.connect(host, port)
+        try:
+            # demo clients retry on 503 like a real client would -- more
+            # demo sessions than max_inflight is the expected regime, not
+            # an error (rejections still show up in the printed stats)
+            while True:
+                try:
+                    session = await client.new_match(args.game, args.size)
+                    break
+                except GatewayOverloaded:
+                    await asyncio.sleep(0.01)
+            moves = 0
+            while True:
+                try:
+                    reply = await client.move(
+                        session, deadline_ms=args.deadline_ms
+                    )
+                except GatewayOverloaded:
+                    await asyncio.sleep(0.01)
+                    continue
+                moves += 1
+                if reply["done"]:
+                    return moves, reply["winner"]
+        finally:
+            await client.aclose()
+
+    async def run() -> int:
+        server = GatewayServer(gateway, args.host, args.port)
+        host, port = await server.start()
+        print(f"gateway listening on {host}:{port} "
+              f"(backend={args.backend}, workers={args.workers}, "
+              f"deadline={args.deadline_ms:g}ms, playouts<={args.playouts})")
+        try:
+            if args.demo_games > 0:
+                results = await asyncio.gather(
+                    *[demo_session(host, port) for _ in range(args.demo_games)]
+                )
+                for i, (moves, winner) in enumerate(results):
+                    print(f"demo session {i + 1}: {moves} moves, "
+                          f"winner {winner:+d}" if winner else
+                          f"demo session {i + 1}: {moves} moves, draw")
+                for key, value in gateway.stats().as_dict().items():
+                    print(f"  {key:20s} {value}")
+                return 0
+            await server.serve_forever()
+            return 0
+        finally:
+            await server.aclose()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("gateway stopped")
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=4, suppress=True)
@@ -291,6 +423,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_train(args)
     if args.command == "selfplay":
         return cmd_selfplay(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     raise AssertionError("unreachable")
 
 

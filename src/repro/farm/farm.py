@@ -86,9 +86,12 @@ class FarmStats(ServingStats):
     the figure of merit the E14 benchmark tracks, :attr:`sims_per_sec`.
     """
 
-    num_workers: int
-    worker_restarts: int
-    episodes_requeued: int
+    # defaults are required by dataclass field ordering now that
+    # ServingStats carries defaulted latency fields; the farm always
+    # fills all three explicitly
+    num_workers: int = 0
+    worker_restarts: int = 0
+    episodes_requeued: int = 0
 
     @property
     def sims_per_sec(self) -> float:

@@ -16,6 +16,23 @@ from repro.games.gomoku import Gomoku
 from repro.games.synthetic import SyntheticTreeGame
 from repro.games.tictactoe import TicTacToe
 
+
+def make_game(name: str, size: int | None = None) -> Game:
+    """The one name -> game registry (CLI commands, gateway wire
+    protocol, fixtures).  *size* applies to Gomoku only; ``None`` means
+    the paper's 15x15 board."""
+    if name == "tictactoe":
+        return TicTacToe()
+    if name == "connect4":
+        return ConnectFour()
+    if name == "gomoku":
+        # not `size or 15`: an explicit 0 must fail loudly in Gomoku,
+        # not silently serve the paper's board
+        board = 15 if size is None else size
+        return Gomoku(board, min(5, board))
+    raise ValueError(f"unknown game {name!r}")
+
+
 __all__ = [
     "ConnectFour",
     "Game",
@@ -24,4 +41,5 @@ __all__ = [
     "SyntheticTreeGame",
     "TicTacToe",
     "build_network_for",
+    "make_game",
 ]

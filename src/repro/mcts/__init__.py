@@ -25,6 +25,7 @@ from repro.mcts.backend import (
     make_root,
     resolve_backend,
 )
+from repro.mcts.budget import BudgetClock, SearchBudget, as_budget
 from repro.mcts.evaluation import (
     Evaluation,
     Evaluator,
@@ -53,6 +54,7 @@ from repro.mcts.virtual_loss import (
 __all__ = [
     "ArrayNodeView",
     "ArrayTree",
+    "BudgetClock",
     "ConstantVirtualLoss",
     "Evaluation",
     "Evaluator",
@@ -60,6 +62,7 @@ __all__ = [
     "NoVirtualLoss",
     "Node",
     "RandomRolloutEvaluator",
+    "SearchBudget",
     "SerialMCTS",
     "TreeBackend",
     "UniformEvaluator",
@@ -67,6 +70,7 @@ __all__ = [
     "WUVirtualLoss",
     "action_prior_from_root",
     "add_dirichlet_noise",
+    "as_budget",
     "backup",
     "capacity_hint",
     "expand",

@@ -1,0 +1,216 @@
+"""Search budgets: playout counts, wall-clock deadlines, or both.
+
+Every entry point in the repo historically budgeted search by playout
+*count* -- nothing could answer "best move within 200 ms", the question
+the paper's per-move latency evaluation (Figures 4/5) is actually about
+and the one a request-serving front end has to answer.  A
+:class:`SearchBudget` makes search **anytime**: it carries a playout
+count and/or a wall-clock allowance, and search stops at whichever bound
+binds first, returning the normalised root prior accumulated so far.
+
+Design constraints (asserted by the property suite):
+
+- **Count-parity.**  A budget whose deadline never fires must behave
+  *bit-identically* to the plain integer-count API: deadline checks read
+  the clock but never consume RNG or reorder work.
+- **Anytime validity.**  However tight the deadline, at least
+  :attr:`SearchBudget.min_playouts` playouts always complete, so the
+  root prior is a valid distribution over legal moves.
+- **Bounded overshoot.**  The deadline is checked between playouts
+  (every :attr:`SearchBudget.check_interval` completions), so overshoot
+  is bounded by one check interval's work plus one leaf evaluation.
+
+Every scheme's ``search`` / ``get_action_prior`` accepts either the
+historic ``int`` or a :class:`SearchBudget` in the same parameter, so the
+Section-3.2 "program template" interchangeability carries over unchanged
+to deadline-budgeted callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["SearchBudget", "BudgetClock", "as_budget"]
+
+#: array-backend capacity hint when only a time bound is given (the tree
+#: still grows by doubling, so this is a pre-allocation guess, not a cap)
+_TIME_ONLY_CAPACITY_PLAYOUTS = 512
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """How much search one move is allowed to consume.
+
+    Parameters
+    ----------
+    num_playouts : playout-count bound; ``None`` means unbounded count
+        (a time bound must then be given).
+    time_budget_ms : wall-clock bound in milliseconds measured from
+        :meth:`start`; ``None`` means no deadline (pure count budget,
+        exactly the historic behaviour).
+    check_interval : completed playouts between deadline checks; 1 (the
+        default) checks after every playout.
+    min_playouts : playouts guaranteed to complete even if the deadline
+        has already passed on arrival -- keeps the root prior valid.
+        The default is 2 because the first serial playout only *expands*
+        the root; the second is the earliest that visits a child, and a
+        root without visited children has no prior to normalise.
+    """
+
+    num_playouts: int | None = None
+    time_budget_ms: float | None = None
+    check_interval: int = 1
+    min_playouts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_playouts is None and self.time_budget_ms is None:
+            raise ValueError(
+                "SearchBudget needs num_playouts and/or time_budget_ms"
+            )
+        if self.num_playouts is not None and self.num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if self.time_budget_ms is not None and self.time_budget_ms < 0:
+            raise ValueError("time_budget_ms must be >= 0")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        if self.min_playouts < 1:
+            raise ValueError("min_playouts must be >= 1")
+
+    @property
+    def capacity_playouts(self) -> int:
+        """Playout count to size array-tree pre-allocation from."""
+        if self.num_playouts is not None:
+            return self.num_playouts
+        return _TIME_ONLY_CAPACITY_PLAYOUTS
+
+    def start(self, target=_UNSET) -> "BudgetClock":
+        """Begin the wall clock now; *target* overrides the count bound
+        (used by tree reuse, where warm visits shrink the fresh-playout
+        target)."""
+        if target is _UNSET:
+            target = self.num_playouts
+        return BudgetClock(self, target)
+
+
+def as_budget(budget: "int | SearchBudget") -> SearchBudget:
+    """Coerce the historic integer playout count into a pure count budget."""
+    if isinstance(budget, SearchBudget):
+        return budget
+    return SearchBudget(num_playouts=int(budget))
+
+
+class BudgetClock:
+    """A started :class:`SearchBudget`: deadline timestamp + progress.
+
+    Serial schemes drive it with :meth:`note` / :meth:`done`; worker-pool
+    schemes use the thread-safe :meth:`try_claim` so N workers draining
+    one budget never run a playout past either bound.  Schemes that fan
+    out sub-searches (root-parallel) derive per-worker clocks sharing the
+    same absolute deadline via :meth:`split`.
+    """
+
+    __slots__ = (
+        "budget",
+        "target",
+        "deadline",
+        "completed",
+        "_claimed",
+        "_floor",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        budget: SearchBudget,
+        target: int | None,
+        deadline=_UNSET,
+    ) -> None:
+        self.budget = budget
+        self.target = target
+        if deadline is _UNSET:
+            deadline = (
+                None
+                if budget.time_budget_ms is None
+                else time.perf_counter() + budget.time_budget_ms / 1000.0
+            )
+        self.deadline = deadline
+        self.completed = 0
+        self._claimed = 0
+        self._floor = budget.min_playouts
+        self._lock = threading.Lock()
+
+    def split(self, target: int | None) -> "BudgetClock":
+        """A fresh clock with its own counters but the *same* absolute
+        deadline (root-parallel workers race one shared wall clock)."""
+        return BudgetClock(self.budget, target, self.deadline)
+
+    # -- time ---------------------------------------------------------------
+    def expired(self) -> bool:
+        """Has the wall-clock deadline passed?  (Never true without one.)"""
+        return self.deadline is not None and time.perf_counter() >= self.deadline
+
+    def remaining_ms(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return max(0.0, (self.deadline - time.perf_counter()) * 1000.0)
+
+    # -- serial draining ----------------------------------------------------
+    def note(self, n: int = 1) -> None:
+        """Record *n* completed playouts (single-threaded schemes)."""
+        self.completed += n
+
+    def done(self) -> bool:
+        """Stop searching?  Count bound first (free), then -- only at
+        check-interval boundaries, and never before ``min_playouts`` --
+        the deadline."""
+        if self.target is not None and self.completed >= self.target:
+            return True
+        if self.deadline is None or self.completed < self._floor:
+            return False
+        if self.completed % self.budget.check_interval != 0:
+            return False
+        return self.expired()
+
+    def seed(self, n: int = 1) -> None:
+        """Record *n* playouts already performed outside the drain loop
+        (e.g. the serial root expansion the shared-tree schemes count as
+        playout #1).  Seeded playouts count toward the count bound but
+        raise the ``min_playouts`` floor with them: a root expansion
+        alone leaves the root's children unvisited, so at least
+        ``min_playouts`` genuine rollouts must still run for the prior
+        to be a valid distribution."""
+        with self._lock:
+            self._claimed += n
+            self.completed += n
+            self._floor += n
+
+    # -- concurrent draining -------------------------------------------------
+    def try_claim(self) -> bool:
+        """Atomically claim the right to run one more playout.
+
+        Returns ``False`` once the count bound is fully claimed or the
+        deadline has expired (past ``min_playouts`` claims); the caller
+        must run exactly one playout per successful claim and
+        :meth:`note` it on completion.
+        """
+        with self._lock:
+            if self.target is not None and self._claimed >= self.target:
+                return False
+            if (
+                self.deadline is not None
+                and self._claimed >= self._floor
+                and self._claimed % self.budget.check_interval == 0
+                and self.expired()
+            ):
+                return False
+            self._claimed += 1
+            return True
+
+    def note_claimed(self, n: int = 1) -> None:
+        """Thread-safe completion counter for claimed playouts."""
+        with self._lock:
+            self.completed += n

@@ -17,6 +17,7 @@ import numpy as np
 from repro.games.base import Game
 from repro.mcts.arraytree import ArrayNodeView
 from repro.mcts.backend import TreeBackend, make_root, resolve_backend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -86,14 +87,21 @@ class TreeReuseMCTS:
             child.action = -1
         self._root = child
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)
 
-    def search(self, game: Game, num_playouts: int) -> Node:
-        """Top the reused tree up to *num_playouts* total root visits."""
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        """Top the reused tree up to the budget's total root visits.
+
+        With a :class:`~repro.mcts.budget.SearchBudget` the deadline is
+        checked between fresh playouts -- a warm tree under a tight
+        deadline still returns a valid prior from its reused statistics
+        plus at least one fresh playout.
+        """
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         if self._root is None:
@@ -103,10 +111,15 @@ class TreeReuseMCTS:
         self.searches += 1
         # reuse semantics: the budget counts *total* root visits, so a
         # warm tree needs fewer fresh playouts for the same statistics
-        needed = max(1, num_playouts - root.visit_count)
-        for _ in range(needed):
+        needed = None
+        if budget.num_playouts is not None:
+            needed = max(1, budget.num_playouts - root.visit_count)
+        clock = budget.start(target=needed)
+        while True:
             self._playout(root, game.copy())
-        return root
+            clock.note()
+            if clock.done():
+                return root
 
     def _playout(self, root: Node, game: Game) -> None:
         leaf, leaf_game, _ = select_leaf(

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend, capacity_hint, make_root, resolve_backend
+from repro.mcts.budget import BudgetClock, SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -79,24 +80,46 @@ class SerialMCTS:
         self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
         self.stats = SearchStats()
 
-    def search(self, game: Game, num_playouts: int) -> Node:
-        """Run *num_playouts* playouts from *game*'s state; returns the root."""
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(
+        self,
+        game: Game,
+        num_playouts: "int | SearchBudget",
+        *,
+        clock: BudgetClock | None = None,
+    ) -> Node:
+        """Run budgeted playouts from *game*'s state; returns the root.
+
+        *num_playouts* is either the historic playout count or a
+        :class:`~repro.mcts.budget.SearchBudget` (count and/or wall-clock
+        deadline, whichever binds first).  *clock* lets a composing
+        scheme (root-parallel) share one absolute deadline across
+        sub-searches; when given it overrides the budget's own bounds.
+        """
+        if clock is None:
+            clock = as_budget(num_playouts).start()
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = make_root(
-            self.tree_backend, capacity_hint(game.action_size, num_playouts)
+        cap = (
+            clock.target
+            if clock.target is not None
+            else clock.budget.capacity_playouts
         )
-        for i in range(num_playouts):
+        root = make_root(self.tree_backend, capacity_hint(game.action_size, cap))
+        first = True
+        while True:
             self._playout(root, game.copy())
-            if i == 0 and self.dirichlet_epsilon > 0:
+            clock.note()
+            if first and self.dirichlet_epsilon > 0:
                 add_dirichlet_noise(
                     root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
                 )
-        return root
+            first = False
+            if clock.done():
+                return root
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         """The paper's ``get_action_prior``: normalised root visit counts."""
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)

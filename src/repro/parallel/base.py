@@ -16,6 +16,7 @@ import numpy as np
 from repro.games.base import Game
 from repro.mcts.arraytree import ArrayNodeView
 from repro.mcts.backend import TreeBackend, capacity_hint, make_root, resolve_backend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.node import Node
 
 __all__ = ["SchemeName", "ParallelScheme"]
@@ -63,18 +64,29 @@ class ParallelScheme(abc.ABC):
         self.tree_backend = resolve_backend(backend, default)
         return self.tree_backend
 
-    def _make_root(self, game: Game, num_playouts: int) -> "Node | ArrayNodeView":
+    def _make_root(
+        self, game: Game, budget: "int | SearchBudget"
+    ) -> "Node | ArrayNodeView":
         """Fresh root on the configured backend, sized for one move."""
         return make_root(
-            self.tree_backend, capacity_hint(game.action_size, num_playouts)
+            self.tree_backend,
+            capacity_hint(game.action_size, as_budget(budget).capacity_playouts),
         )
 
     @abc.abstractmethod
-    def search(self, game: Game, num_playouts: int) -> Node:
-        """Run the tree-based search and return the root node."""
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        """Run the tree-based search and return the root node.
+
+        *num_playouts* is the historic playout count or a
+        :class:`~repro.mcts.budget.SearchBudget`; with a deadline the
+        search is *anytime* -- it stops launching playouts once the wall
+        clock expires and returns the statistics accumulated so far.
+        """
 
     @abc.abstractmethod
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         """Normalised root visit counts over the full action space."""
 
     def close(self) -> None:

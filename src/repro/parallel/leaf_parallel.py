@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -78,14 +79,15 @@ class LeafParallelMCTS(ParallelScheme):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def search(self, game: Game, num_playouts: int) -> Node:
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         pool = self._ensure_pool()
-        root = self._make_root(game, num_playouts)
-        for i in range(num_playouts):
+        root = self._make_root(game, budget)
+        clock = budget.start()
+        first = True
+        while True:
             leaf, leaf_game, _ = select_leaf(
                 root, game.copy(), self.c_puct, apply_virtual_loss=False
             )
@@ -104,12 +106,17 @@ class LeafParallelMCTS(ParallelScheme):
                 merged = evaluations[0].__class__(priors=priors, value=value)
                 expand(leaf, leaf_game, merged)
             backup(leaf, value)
-            if i == 0 and self.dirichlet_epsilon > 0 and not root.is_leaf:
+            clock.note()
+            if first and self.dirichlet_epsilon > 0 and not root.is_leaf:
                 add_dirichlet_noise(
                     root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
                 )
-        return root
+            first = False
+            if clock.done():
+                return root
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluation, Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -99,12 +100,11 @@ class LocalTreeMCTS(ParallelScheme):
             self._pool = None
 
     # -- search (Algorithm 3, rollout_n_times) -------------------------------
-    def search(self, game: Game, num_playouts: int) -> Node:
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = self._make_root(game, num_playouts)
+        root = self._make_root(game, budget)
         evaluation = self.evaluator.evaluate(game)
         expand(root, game, evaluation)
         root.visit_count += 1
@@ -130,12 +130,28 @@ class LocalTreeMCTS(ParallelScheme):
 
         launched = 1  # the root evaluation
         completed = 1
+        clock = budget.start()
+        target = clock.target  # None with a pure time budget
+        # the root expansion leaves the root's children unvisited, so the
+        # deadline may only fire once min_playouts real rollouts launched
+        min_launched = 1 + budget.min_playouts
 
-        while completed < num_playouts:
+        def reached(n: int) -> bool:
+            return target is not None and n >= target
+
+        def deadline_hit() -> bool:
+            return launched >= min_launched and clock.expired()
+
+        while True:
+            # Anytime semantics: an expired deadline stops *launching*
+            # playouts; everything already in flight still completes (and
+            # recovers its virtual loss) before the move returns.
+            expired = deadline_hit()
             # Master-thread in-tree operations: select new leaves while
             # worker capacity remains (Algorithm 3 lines 7-11).
             while (
-                launched < num_playouts
+                not expired
+                and not reached(launched)
                 and inflight_requests() + len(pending) < self.num_workers
             ):
                 leaf, leaf_game, _ = select_leaf(
@@ -151,12 +167,13 @@ class LocalTreeMCTS(ParallelScheme):
                 pending.append((leaf, leaf_game))
                 if len(pending) >= self.batch_size:
                     flush()
+                expired = deadline_hit()
 
-            if completed >= num_playouts:
+            if completed == launched and (reached(completed) or expired):
                 break
             # All selections launched (or capacity full): force out any
             # partial sub-batch so the tail of the move cannot deadlock.
-            if pending and (launched >= num_playouts or not inflight):
+            if pending and (reached(launched) or expired or not inflight):
                 flush()
             if not inflight:
                 # every launched playout already completed via terminal
@@ -176,6 +193,8 @@ class LocalTreeMCTS(ParallelScheme):
                     completed += 1
         return root
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import action_prior_from_root, add_dirichlet_noise, expand
@@ -89,12 +90,11 @@ class LockFreeSharedTreeMCTS(ParallelScheme):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def search(self, game: Game, num_playouts: int) -> Node:
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
-        root = self._make_root(game, num_playouts)
+        root = self._make_root(game, budget)
         evaluation = self.evaluator.evaluate(game)
         expand(root, game, evaluation)
         root.visit_count += 1
@@ -102,19 +102,29 @@ class LockFreeSharedTreeMCTS(ParallelScheme):
             add_dirichlet_noise(
                 root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
             )
-        remaining = num_playouts - 1
-        if remaining <= 0:
+        clock = budget.start()
+        clock.seed(1)  # the root evaluation above
+        if clock.target is not None and clock.target <= 1:
             return root
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(self._rollout, root, game) for _ in range(remaining)
-        ]
+
+        def drain() -> None:
+            while clock.try_claim():
+                self._rollout(root, game)
+                clock.note_claimed()
+
+        workers = self.num_workers
+        if clock.target is not None:
+            workers = min(workers, clock.target - 1)
+        futures = [pool.submit(drain) for _ in range(workers)]
         done, _ = wait(futures)
         for f in done:
             f.result()
         return root
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluator
 from repro.mcts.node import Node
 from repro.mcts.serial import SerialMCTS
@@ -74,18 +75,25 @@ class RootParallelMCTS(ParallelScheme):
         budgets = [base + (1 if i < extra else 0) for i in range(self.num_workers)]
         return [b for b in budgets if b > 0]
 
-    def search(self, game: Game, num_playouts: int) -> Node:
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
         """Runs the ensemble and returns a *merged* root whose children
         carry the aggregated visit counts (Q is visit-weighted)."""
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         pool = self._ensure_pool()
-        budgets = self._worker_budgets(num_playouts)
+        if budget.num_playouts is not None:
+            budgets: list[int | None] = list(
+                self._worker_budgets(budget.num_playouts)
+            )
+        else:  # time-only budget: every worker searches until the deadline
+            budgets = [None] * self.num_workers
         rngs = spawn_rngs(self.rng, len(budgets))
+        # one absolute deadline shared by the whole ensemble: each worker
+        # gets a per-worker count target but races the same wall clock
+        clock = budget.start()
 
-        def run(budget: int, worker_rng: np.random.Generator) -> Node:
+        def run(target: int | None, worker_rng: np.random.Generator) -> Node:
             engine = SerialMCTS(
                 self.evaluator,
                 c_puct=self.c_puct,
@@ -94,7 +102,7 @@ class RootParallelMCTS(ParallelScheme):
                 rng=worker_rng,
                 tree_backend=self.tree_backend,
             )
-            return engine.search(game, budget)
+            return engine.search(game, budget, clock=clock.split(target))
 
         futures = [pool.submit(run, b, r) for b, r in zip(budgets, rngs)]
         self.last_roots = [f.result() for f in futures]
@@ -113,7 +121,9 @@ class RootParallelMCTS(ParallelScheme):
                 m.value_sum += child.value_sum
         return merged
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         prior = np.zeros(game.action_size, dtype=np.float64)
         total = 0

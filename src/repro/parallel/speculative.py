@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend
+from repro.mcts.budget import SearchBudget, as_budget
 from repro.mcts.evaluation import Evaluation, Evaluator
 from repro.mcts.node import Node
 from repro.mcts.search import (
@@ -104,16 +105,17 @@ class SpeculativeMCTS(ParallelScheme):
             self._pool = None
 
     # -- search ------------------------------------------------------------
-    def search(self, game: Game, num_playouts: int) -> Node:
-        if num_playouts < 1:
-            raise ValueError("num_playouts must be >= 1")
+    def search(self, game: Game, num_playouts: "int | SearchBudget") -> Node:
+        budget = as_budget(num_playouts)
         if game.is_terminal:
             raise ValueError("cannot search from a terminal state")
         pool = self._ensure_pool()
-        root = self._make_root(game, num_playouts)
+        root = self._make_root(game, budget)
+        clock = budget.start()
         inflight: dict[Future, tuple[Node, float]] = {}
 
-        for i in range(num_playouts):
+        first = True
+        while True:
             # bounded speculation: drain one correction when full
             while len(inflight) >= self.num_workers:
                 self._drain_one(inflight)
@@ -131,16 +133,24 @@ class SpeculativeMCTS(ParallelScheme):
                 self.speculations += 1
                 future = pool.submit(self.main_evaluator.evaluate, leaf_game)
                 inflight[future] = (leaf, float(draft.value))
-            if i == 0 and self.dirichlet_epsilon > 0 and not root.is_leaf:
+            clock.note()
+            if first and self.dirichlet_epsilon > 0 and not root.is_leaf:
                 add_dirichlet_noise(
                     root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
                 )
-        # force all corrections before the tree is read
+            first = False
+            if clock.done():
+                break
+        # force all corrections before the tree is read (an expired
+        # deadline still pays for its outstanding speculations -- the
+        # SpecMCTS quality-preservation property must hold at any cutoff)
         while inflight:
             self._drain_one(inflight)
         return root
 
-    def get_action_prior(self, game: Game, num_playouts: int) -> np.ndarray:
+    def get_action_prior(
+        self, game: Game, num_playouts: "int | SearchBudget"
+    ) -> np.ndarray:
         root = self.search(game, num_playouts)
         return action_prior_from_root(root, game.action_size)
 

@@ -12,14 +12,45 @@ single-game self-play to request-serving):
   G-games-one-queue orchestrator with round-level serving statistics
   (``backend="process"`` swaps the thread pool for the multiprocess
   :mod:`repro.farm` behind the same interface).
+- :mod:`repro.serving.service` -- :class:`MatchGateway`, the async
+  request-facing front door: deadline-budgeted match sessions with
+  admission control, idle GC and latency percentiles, plus the
+  newline-JSON TCP :class:`GatewayServer` / :class:`GatewayClient` pair.
 """
 
 from repro.serving.cache import CachingEvaluator, EvaluationCache
-from repro.serving.engine import MultiGameSelfPlayEngine, ServingStats
+from repro.serving.engine import (
+    LatencyTracker,
+    MultiGameSelfPlayEngine,
+    ServingStats,
+)
+from repro.serving.service import (
+    GatewayClient,
+    GatewayError,
+    GatewayOverloaded,
+    GatewayServer,
+    GatewayStats,
+    InvalidMove,
+    MatchGateway,
+    MoveReply,
+    SessionNotFound,
+    SessionStatus,
+)
 
 __all__ = [
     "CachingEvaluator",
     "EvaluationCache",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayOverloaded",
+    "GatewayServer",
+    "GatewayStats",
+    "InvalidMove",
+    "LatencyTracker",
+    "MatchGateway",
+    "MoveReply",
     "MultiGameSelfPlayEngine",
     "ServingStats",
+    "SessionNotFound",
+    "SessionStatus",
 ]

@@ -49,11 +49,88 @@ from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.training.selfplay import EpisodeResult, play_episode
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["ServingStats", "MultiGameSelfPlayEngine"]
+__all__ = ["LatencyTracker", "ServingStats", "MultiGameSelfPlayEngine"]
+
+
+class LatencyTracker:
+    """Thread-safe per-request latency reservoir with percentile summaries.
+
+    Keeps the most recent *window* samples in a ring buffer (plus running
+    count/total over the full lifetime), which bounds memory while the
+    percentiles track current behaviour -- the serving-telemetry trade-off
+    every production latency histogram makes.  Used for per-move search
+    latency in both the self-play engine and the match gateway.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._samples: list[float] = []
+        self._next = 0  # ring cursor once the window is full
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if len(self._samples) < self._window:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self._window
+
+    def percentile(self, q: float) -> float:
+        """Latency (seconds) at quantile *q* in [0, 100] over the window;
+        0.0 before any sample."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return float(np.percentile(self._samples, q))
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary_ms(self) -> dict:
+        """p50/p95/p99/mean in milliseconds plus the sample count."""
+        return {
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+            "mean_ms": round(self.mean * 1e3, 3),
+            "count": self.count,
+        }
 
 #: builds one game's search scheme around the shared (cached, batched)
 #: evaluator; anything with ``get_action_prior(game, num_playouts)`` works
 SchemeFactory = Callable[[Evaluator, np.random.Generator], object]
+
+
+class _TimedScheme:
+    """Forwarding wrapper that times each ``get_action_prior`` call into a
+    shared :class:`LatencyTracker` (the engine's per-move latency axis)."""
+
+    __slots__ = ("_scheme", "_tracker")
+
+    def __init__(self, scheme, tracker: LatencyTracker) -> None:
+        self._scheme = scheme
+        self._tracker = tracker
+
+    def get_action_prior(self, game: Game, num_playouts) -> np.ndarray:
+        t0 = time.perf_counter()
+        try:
+            return self._scheme.get_action_prior(game, num_playouts)
+        finally:
+            self._tracker.record(time.perf_counter() - t0)
+
+    def close(self) -> None:
+        close = getattr(self._scheme, "close", None)
+        if close is not None:
+            close()
 
 
 @dataclass(frozen=True)
@@ -71,6 +148,12 @@ class ServingStats:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    #: per-move search latency percentiles over the round (milliseconds);
+    #: 0.0 where untracked (the process backend runs moves in worker
+    #: processes and reports throughput-level stats only)
+    move_latency_p50_ms: float = 0.0
+    move_latency_p95_ms: float = 0.0
+    move_latency_p99_ms: float = 0.0
 
     @property
     def games_per_sec(self) -> float:
@@ -95,6 +178,9 @@ class ServingStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "move_latency_p50_ms": round(self.move_latency_p50_ms, 3),
+            "move_latency_p95_ms": round(self.move_latency_p95_ms, 3),
+            "move_latency_p99_ms": round(self.move_latency_p99_ms, 3),
         }
 
 
@@ -232,6 +318,7 @@ class MultiGameSelfPlayEngine:
         self._pool: ThreadPoolExecutor | None = None
         self._active_lock = threading.Lock()
         self._active_games = 0
+        self._round_latency = LatencyTracker()
 
     # -- lifecycle -----------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -256,7 +343,10 @@ class MultiGameSelfPlayEngine:
 
     # -- play ---------------------------------------------------------------
     def _play_one(self, game_rng: np.random.Generator) -> EpisodeResult:
-        scheme = self.scheme_factory(self.shared_evaluator, game_rng)
+        scheme = _TimedScheme(
+            self.scheme_factory(self.shared_evaluator, game_rng),
+            self._round_latency,
+        )
         try:
             return play_episode(
                 self.game,
@@ -268,9 +358,7 @@ class MultiGameSelfPlayEngine:
                 rng=game_rng,
             )
         finally:
-            close = getattr(scheme, "close", None)
-            if close is not None:
-                close()
+            scheme.close()
             with self._active_lock:
                 self._active_games -= 1
                 active = self._active_games
@@ -305,6 +393,8 @@ class MultiGameSelfPlayEngine:
             self._active_games = self.num_games
         # restore the full threshold (a previous round's tail shrank it)
         self.queue.set_batch_size(self._round_batch_size)
+        # fresh tracker per round: the stats below are per-round deltas
+        self._round_latency = LatencyTracker()
 
         t0 = time.perf_counter()
         results = list(pool.map(self._play_one, rngs))
@@ -326,6 +416,9 @@ class MultiGameSelfPlayEngine:
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            move_latency_p50_ms=self._round_latency.percentile(50) * 1e3,
+            move_latency_p95_ms=self._round_latency.percentile(95) * 1e3,
+            move_latency_p99_ms=self._round_latency.percentile(99) * 1e3,
         )
         return results, stats
 

@@ -1,0 +1,832 @@
+"""Async match-serving gateway: game sessions under wall-clock deadlines.
+
+PRs 1-4 built *throughput* -- batched engines, array trees, the process
+farm, fused inference -- with nowhere to point it: every entry point
+budgeted search by playout count and served nobody.  This module is the
+request-facing front door the ROADMAP's "heavy traffic" north star
+needs:
+
+- **Sessions.**  The gateway owns game sessions (create / move / resign
+  / expire) with monotonic ids, per-session move serialisation, and idle
+  garbage collection, multiplexing many concurrent sessions onto one
+  evaluator backend.
+- **Deadlines.**  Every move request carries a wall-clock allowance; the
+  remaining budget (after queueing) is threaded into the anytime search
+  as a :class:`~repro.mcts.budget.SearchBudget`, so the reply is the
+  best prior accumulated within "best move in D milliseconds" -- the
+  question the paper's Figure 4/5 latency benchmarks are really asking.
+- **Backpressure.**  A bounded in-flight limit rejects excess move
+  requests 503-style instead of queueing unboundedly, and
+  :class:`GatewayStats` tracks p50/p95/p99 move latency, deadline
+  misses, and rejection counts.
+- **Backends.**  ``backend="thread"`` runs searches on a thread pool
+  against the shared in-process evaluator stack (LRU evaluation cache +
+  fused-inference network, the PR-1/PR-4 components), with a warm
+  :class:`~repro.mcts.reuse.TreeReuseMCTS` tree per session.
+  ``backend="process"`` uses the farm's fork model: worker processes
+  inherit the evaluator at executor creation and run stateless per-move
+  searches, for multi-core scale-out past the GIL.
+
+A thin newline-delimited-JSON TCP layer (:class:`GatewayServer` /
+:class:`GatewayClient`, pure stdlib asyncio) exposes the same surface to
+external clients and the load harness; the in-process async API is what
+the test suites drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import json
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games import make_game
+from repro.games.base import Game
+from repro.mcts.budget import SearchBudget
+from repro.mcts.evaluation import Evaluator, UniformEvaluator
+from repro.mcts.reuse import TreeReuseMCTS
+from repro.mcts.serial import SerialMCTS
+from repro.nn.infer import ensure_plan
+from repro.serving.cache import CachingEvaluator, EvaluationCache
+from repro.serving.engine import LatencyTracker
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "GatewayError",
+    "SessionNotFound",
+    "GatewayOverloaded",
+    "InvalidMove",
+    "SessionStatus",
+    "MoveReply",
+    "GatewayStats",
+    "MatchGateway",
+    "GatewayServer",
+    "GatewayClient",
+    "build_game",
+]
+
+
+# -- errors (wire codes follow HTTP conventions) ------------------------------
+class GatewayError(Exception):
+    """Base gateway failure; :attr:`code` is the wire/status code."""
+
+    code = 400
+
+
+class SessionNotFound(GatewayError):
+    """Unknown, finished, or expired session id."""
+
+    code = 404
+
+
+class GatewayOverloaded(GatewayError):
+    """Admission control rejected the request (503-style backpressure)."""
+
+    code = 503
+
+
+class InvalidMove(GatewayError):
+    """The client's action is illegal in the session's current state."""
+
+    code = 400
+
+
+def build_game(name: str, size: int | None = None) -> Game:
+    """The shared :func:`repro.games.make_game` registry behind a
+    wire-safe error: unknown names become a 400 reply, not a 500.
+
+    The gateway defaults Gomoku to 9x9 -- a 15x15 search rarely fits an
+    interactive deadline; ask for ``size=15`` explicitly to serve the
+    paper's board.
+    """
+    if name == "gomoku" and size is None:
+        size = 9
+    try:
+        return make_game(name, size)
+    except ValueError as exc:
+        raise GatewayError(str(exc)) from exc
+
+
+class SessionStatus(str, enum.Enum):
+    ACTIVE = "active"
+    FINISHED = "finished"
+    RESIGNED = "resigned"
+    EXPIRED = "expired"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class _Session:
+    """One hosted match: game state + (thread backend) a warm search tree."""
+
+    __slots__ = (
+        "session_id",
+        "game",
+        "agent",
+        "rng",
+        "status",
+        "created_at",
+        "last_active",
+        "moves",
+        "lock",
+    )
+
+    def __init__(
+        self,
+        session_id: int,
+        game: Game,
+        agent: TreeReuseMCTS | None,
+        rng: np.random.Generator,
+        now: float,
+    ) -> None:
+        self.session_id = session_id
+        self.game = game
+        self.agent = agent
+        self.rng = rng
+        self.status = SessionStatus.ACTIVE
+        self.created_at = now
+        self.last_active = now
+        self.moves = 0
+        self.lock = asyncio.Lock()
+
+
+@dataclass(frozen=True)
+class MoveReply:
+    """One served move: what the engine played and how long it took."""
+
+    session_id: int
+    engine_action: int | None  # None when the client's move ended the game
+    prior: np.ndarray | None  # normalised root prior behind engine_action
+    done: bool
+    winner: int | None  # +1 / -1 / 0 once done, else None
+    status: SessionStatus
+    latency_ms: float
+    deadline_ms: float
+    move_number: int
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Gateway-lifetime serving telemetry (the request-facing counterpart
+    of the self-play round's :class:`~repro.serving.engine.ServingStats`)."""
+
+    sessions_created: int
+    sessions_active: int
+    sessions_finished: int
+    sessions_resigned: int
+    sessions_expired: int
+    moves_served: int
+    rejected: int
+    deadline_misses: int
+    inflight: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_active": self.sessions_active,
+            "sessions_finished": self.sessions_finished,
+            "sessions_resigned": self.sessions_resigned,
+            "sessions_expired": self.sessions_expired,
+            "moves_served": self.moves_served,
+            "rejected": self.rejected,
+            "deadline_misses": self.deadline_misses,
+            "inflight": self.inflight,
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "latency_mean_ms": round(self.latency_mean_ms, 3),
+        }
+
+
+# -- process-backend worker plumbing ------------------------------------------
+# Evaluators are installed in a module-level registry *before* the
+# fork-context ProcessPoolExecutor spawns its workers, so children
+# inherit them through the fork (the farm's model) -- no pickling of
+# networks, plans, or the thread-local workspaces they carry.  The
+# registry is keyed per gateway because workers fork *lazily* at first
+# submit: with a single slot, a second gateway constructed in between
+# would silently swap the first gateway's evaluator.
+_FORK_REGISTRY: dict[int, Evaluator] = {}
+_FORK_KEYS = itertools.count(1)
+
+
+def _install_fork_evaluator(evaluator: Evaluator) -> int:
+    key = next(_FORK_KEYS)
+    _FORK_REGISTRY[key] = evaluator
+    return key
+
+
+def _process_move_search(
+    fork_key: int,
+    game: Game,
+    budget: SearchBudget,
+    c_puct: float,
+    tree_backend,
+    seed: int,
+) -> np.ndarray:
+    """Stateless per-move search inside a forked worker process."""
+    evaluator = _FORK_REGISTRY.get(fork_key)
+    assert evaluator is not None, "fork evaluator not installed"
+    agent = SerialMCTS(
+        evaluator, c_puct=c_puct, rng=seed, tree_backend=tree_backend
+    )
+    return agent.get_action_prior(game, budget)
+
+
+class MatchGateway:
+    """Asyncio gateway hosting concurrent deadline-budgeted match sessions.
+
+    Parameters
+    ----------
+    evaluator : leaf evaluator behind every session's search (defaults to
+        :class:`~repro.mcts.evaluation.UniformEvaluator` -- tests and
+        demos; serve a real model by passing a ``NetworkEvaluator``).
+    backend : ``"thread"`` (shared cached evaluator, warm per-session
+        trees) or ``"process"`` (forked stateless workers).
+    workers : search executor size (threads or processes).
+    deadline_ms : default per-move wall-clock allowance; each request may
+        override it.
+    num_playouts : per-move playout cap -- search returns at the cap or
+        the deadline, whichever binds first.
+    max_inflight : concurrent move computations admitted before requests
+        are rejected 503-style (defaults to ``2 * workers``).
+    max_sessions : active-session cap; session creation beyond it is
+        rejected with :class:`GatewayOverloaded`.
+    idle_timeout_s : sessions idle longer than this are expired by the
+        GC sweep (:meth:`expire_idle`, run every *gc_interval_s* by the
+        background task :meth:`start` spawns).
+    game_template : when the evaluator only fits one game (a network is
+        shaped for specific planes/actions), pass the game it was built
+        for and session creation rejects mismatched requests with a 400
+        instead of admitting sessions whose every move would 500.
+        ``None`` (the default) accepts any game -- correct for
+        shape-agnostic evaluators like the uniform one.
+    deadline_tolerance_ms : slack before a served move counts as a
+        deadline miss in :class:`GatewayStats` (queueing, scheduling and
+        one in-flight leaf evaluation live inside this).
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator | None = None,
+        *,
+        backend: str = "thread",
+        workers: int = 4,
+        deadline_ms: float = 200.0,
+        num_playouts: int = 256,
+        max_inflight: int | None = None,
+        max_sessions: int = 512,
+        idle_timeout_s: float = 300.0,
+        gc_interval_s: float = 5.0,
+        deadline_tolerance_ms: float = 50.0,
+        game_template: Game | None = None,
+        c_puct: float = 5.0,
+        tree_backend: str | None = None,
+        cache_capacity: int = 8192,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if num_playouts < 1:
+            raise ValueError("num_playouts must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.evaluator = evaluator or UniformEvaluator()
+        self.backend = backend
+        self.workers = workers
+        self.deadline_ms = deadline_ms
+        self.num_playouts = num_playouts
+        self.max_inflight = 2 * workers if max_inflight is None else max_inflight
+        self.max_sessions = max_sessions
+        self.idle_timeout_s = idle_timeout_s
+        self.gc_interval_s = gc_interval_s
+        self.deadline_tolerance_ms = deadline_tolerance_ms
+        self.game_template = game_template
+        self.c_puct = c_puct
+        self.tree_backend = tree_backend
+        self.rng = new_rng(seed)
+        self.latency = LatencyTracker()
+
+        self._sessions: dict[int, _Session] = {}
+        self._next_session_id = 1  # monotonic, never reused
+        self._inflight = 0
+        self._closed = False
+        self._gc_task: asyncio.Task | None = None
+
+        # lifetime counters behind GatewayStats
+        self._created = 0
+        self._finished = 0
+        self._resigned = 0
+        self._expired = 0
+        self._moves_served = 0
+        self._rejected = 0
+        self._deadline_misses = 0
+
+        self._executor: Executor
+        self._fork_key: int | None = None
+        if backend == "process":
+            import multiprocessing
+
+            # compile the fused plan before forking so workers inherit it
+            ensure_plan(getattr(self.evaluator, "network", None))
+            self._fork_key = _install_fork_evaluator(self.evaluator)
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            self._shared_evaluator = None
+        else:
+            ensure_plan(getattr(self.evaluator, "network", None))
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="gateway-search"
+            )
+            # sessions share one LRU evaluation cache: a position any
+            # session has evaluated never reaches the network again
+            self._shared_evaluator = CachingEvaluator(
+                self.evaluator, EvaluationCache(cache_capacity)
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "MatchGateway":
+        """Spawn the idle-GC background task (idempotent)."""
+        if self._gc_task is None:
+            self._gc_task = asyncio.create_task(self._gc_loop())
+        return self
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            try:
+                await self._gc_task
+            except asyncio.CancelledError:
+                pass
+            self._gc_task = None
+        self._sessions.clear()
+        self._executor.shutdown(wait=True)
+        if self._fork_key is not None:
+            _FORK_REGISTRY.pop(self._fork_key, None)
+            self._fork_key = None
+
+    async def __aenter__(self) -> "MatchGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.aclose()
+
+    async def _gc_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.gc_interval_s)
+            self.expire_idle()
+
+    def expire_idle(self, now: float | None = None) -> list[int]:
+        """Expire sessions idle past ``idle_timeout_s``; returns their ids."""
+        now = time.monotonic() if now is None else now
+        stale = [
+            s
+            for s in list(self._sessions.values())
+            # a held lock means a move is in flight right now -- not idle,
+            # however stale last_active looks
+            if now - s.last_active > self.idle_timeout_s and not s.lock.locked()
+        ]
+        for session in stale:
+            session.status = SessionStatus.EXPIRED
+            self._sessions.pop(session.session_id, None)
+            self._expired += 1
+        return [s.session_id for s in stale]
+
+    # -- session management ---------------------------------------------------
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    async def create_session(
+        self, game: str | Game = "tictactoe", size: int | None = None
+    ) -> int:
+        """Open a match and return its (monotonic) session id."""
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        if len(self._sessions) >= self.max_sessions:
+            self._rejected += 1
+            raise GatewayOverloaded(
+                f"session table full ({self.max_sessions} active)"
+            )
+        state = game.copy() if isinstance(game, Game) else build_game(game, size)
+        template = self.game_template
+        if template is not None and (
+            type(state) is not type(template)
+            or state.board_shape != template.board_shape
+        ):
+            raise GatewayError(
+                f"this gateway serves {type(template).__name__} "
+                f"{template.board_shape}; cannot host "
+                f"{type(state).__name__} {state.board_shape}"
+            )
+        agent = None
+        if self.backend == "thread":
+            # a warm tree per session: the subtree behind each played move
+            # carries over, so later moves start from reused statistics
+            agent = TreeReuseMCTS(
+                self._shared_evaluator,
+                c_puct=self.c_puct,
+                rng=self.rng.spawn(1)[0],
+                tree_backend=self.tree_backend,
+            )
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        self._sessions[session_id] = _Session(
+            session_id, state, agent, self.rng.spawn(1)[0], time.monotonic()
+        )
+        self._created += 1
+        return session_id
+
+    def _get(self, session_id: int) -> _Session:
+        session = self._sessions.get(session_id)
+        if session is None or session.status is not SessionStatus.ACTIVE:
+            raise SessionNotFound(f"no active session {session_id}")
+        return session
+
+    async def resign(self, session_id: int) -> SessionStatus:
+        """Client resigns; the session is closed and removed."""
+        session = self._get(session_id)
+        async with session.lock:
+            # recheck under the lock: an in-flight move we queued behind
+            # may just have finished the game (same pattern as play_move)
+            if session.status is not SessionStatus.ACTIVE:
+                raise SessionNotFound(f"no active session {session_id}")
+            session.status = SessionStatus.RESIGNED
+            self._sessions.pop(session_id, None)
+            self._resigned += 1
+        return session.status
+
+    # -- moves ---------------------------------------------------------------
+    async def play_move(
+        self,
+        session_id: int,
+        action: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> MoveReply:
+        """Serve one move under a wall-clock deadline.
+
+        *action* is the client's move to apply first (``None`` asks the
+        engine to move in the current position -- e.g. when the engine
+        plays first, or for engine-vs-engine driving).  If the client's
+        move ends the game no search runs and ``engine_action`` is
+        ``None``.  Otherwise the engine searches under
+        ``SearchBudget(num_playouts, remaining deadline)`` and plays the
+        visit-count argmax.
+        """
+        t0 = time.perf_counter()
+        deadline = self.deadline_ms if deadline_ms is None else float(deadline_ms)
+        if deadline <= 0:
+            raise GatewayError("deadline_ms must be positive")
+        session = self._get(session_id)
+        # admission control BEFORE queueing on the session lock or the
+        # executor: over capacity, shed load instead of growing a queue
+        if self._inflight >= self.max_inflight:
+            self._rejected += 1
+            raise GatewayOverloaded(
+                f"{self._inflight} moves in flight (limit {self.max_inflight})"
+            )
+        self._inflight += 1
+        try:
+            async with session.lock:
+                if session.status is not SessionStatus.ACTIVE:
+                    raise SessionNotFound(f"no active session {session_id}")
+                reply = await self._play_move_locked(session, action, deadline, t0)
+        finally:
+            self._inflight -= 1
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        self.latency.record(latency_ms / 1e3)
+        self._moves_served += 1
+        if latency_ms > deadline + self.deadline_tolerance_ms:
+            self._deadline_misses += 1
+        session.last_active = time.monotonic()
+        return MoveReply(
+            session_id=session_id,
+            engine_action=reply[0],
+            prior=reply[1],
+            done=reply[2],
+            winner=reply[3],
+            status=session.status,
+            latency_ms=latency_ms,
+            deadline_ms=deadline,
+            move_number=session.moves,
+        )
+
+    async def _play_move_locked(
+        self,
+        session: _Session,
+        action: int | None,
+        deadline: float,
+        t0: float,
+    ) -> tuple[int | None, np.ndarray | None, bool, int | None]:
+        game = session.game
+        if action is not None:
+            # validate the untrusted wire value before it indexes anything
+            if not isinstance(action, (int, np.integer)) or isinstance(
+                action, bool
+            ):
+                raise InvalidMove(f"action must be an integer, got {action!r}")
+            if not 0 <= action < game.action_size:
+                raise InvalidMove(
+                    f"action {action} out of range [0, {game.action_size})"
+                )
+            if game.is_terminal or not bool(game.legal_mask()[action]):
+                raise InvalidMove(f"illegal action {action}")
+            game.step(int(action))
+            session.moves += 1
+            if session.agent is not None:
+                session.agent.observe(int(action))
+            if game.is_terminal:
+                self._finish(session)
+                return None, None, True, int(game.winner)
+        elif game.is_terminal:  # defensive: table never holds terminal actives
+            self._finish(session)
+            return None, None, True, int(game.winner)
+
+        # the search gets whatever wall clock the request has left after
+        # validation/queueing; floor at 1ms so an exhausted allowance
+        # still yields the budget's min_playouts (a valid, if tiny, prior)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        budget = SearchBudget(
+            num_playouts=self.num_playouts,
+            time_budget_ms=max(1.0, deadline - elapsed_ms),
+        )
+        loop = asyncio.get_running_loop()
+        if self.backend == "process":
+            prior = await loop.run_in_executor(
+                self._executor,
+                _process_move_search,
+                self._fork_key,
+                game.copy(),
+                budget,
+                self.c_puct,
+                self.tree_backend,
+                int(session.rng.integers(np.iinfo(np.int64).max)),
+            )
+        else:
+            agent = session.agent
+            assert agent is not None
+            prior = await loop.run_in_executor(
+                self._executor, agent.get_action_prior, game, budget
+            )
+        engine_action = int(np.argmax(prior))
+        game.step(engine_action)
+        session.moves += 1
+        if session.agent is not None:
+            session.agent.observe(engine_action)
+        if game.is_terminal:
+            self._finish(session)
+            return engine_action, prior, True, int(game.winner)
+        return engine_action, prior, False, None
+
+    def _finish(self, session: _Session) -> None:
+        session.status = SessionStatus.FINISHED
+        self._sessions.pop(session.session_id, None)
+        self._finished += 1
+
+    # -- telemetry -----------------------------------------------------------
+    def stats(self) -> GatewayStats:
+        return GatewayStats(
+            sessions_created=self._created,
+            sessions_active=len(self._sessions),
+            sessions_finished=self._finished,
+            sessions_resigned=self._resigned,
+            sessions_expired=self._expired,
+            moves_served=self._moves_served,
+            rejected=self._rejected,
+            deadline_misses=self._deadline_misses,
+            inflight=self._inflight,
+            latency_p50_ms=self.latency.percentile(50) * 1e3,
+            latency_p95_ms=self.latency.percentile(95) * 1e3,
+            latency_p99_ms=self.latency.percentile(99) * 1e3,
+            latency_mean_ms=self.latency.mean * 1e3,
+        )
+
+
+# -- wire layer ---------------------------------------------------------------
+class GatewayServer:
+    """Newline-delimited-JSON TCP front for a :class:`MatchGateway`.
+
+    One request per line, one reply per line.  Ops: ``new`` (game, size),
+    ``move`` (session, action, deadline_ms), ``resign`` (session),
+    ``stats``, ``ping``.  Failures reply ``{"ok": false, "error": ...,
+    "code": ...}`` with the HTTP-style code of the gateway error (503 for
+    backpressure rejections), keeping the connection open.
+    """
+
+    def __init__(
+        self, gateway: MatchGateway, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns ``(host, port)`` (the port is
+        the kernel-assigned one when constructed with ``port=0``)."""
+        await self.gateway.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # Server.close() only stops accepting -- it does not end open
+            # connections, and on Python >= 3.12.1 wait_closed() blocks
+            # until every handler finishes.  Cancel the live handlers
+            # (parked on readline) so shutdown cannot hang on an idle
+            # client.
+            for task in list(self._handlers):
+                task.cancel()
+            if self._handlers:
+                await asyncio.gather(*self._handlers, return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+        await self.gateway.aclose()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = await self._dispatch(line)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # aclose() cancels live connection handlers; absorb the
+            # cancellation so shutdown closes the socket without noise
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "new":
+                session_id = await self.gateway.create_session(
+                    request.get("game", "tictactoe"), request.get("size")
+                )
+                return {"ok": True, "session": session_id}
+            if op == "move":
+                reply = await self.gateway.play_move(
+                    int(request["session"]),
+                    request.get("action"),
+                    request.get("deadline_ms"),
+                )
+                return {
+                    "ok": True,
+                    "session": reply.session_id,
+                    "engine_action": reply.engine_action,
+                    "prior": None
+                    if reply.prior is None
+                    else [round(float(p), 6) for p in reply.prior],
+                    "done": reply.done,
+                    "winner": reply.winner,
+                    "status": reply.status.value,
+                    "latency_ms": round(reply.latency_ms, 3),
+                    "deadline_ms": reply.deadline_ms,
+                    "move_number": reply.move_number,
+                }
+            if op == "resign":
+                status = await self.gateway.resign(int(request["session"]))
+                return {"ok": True, "status": status.value}
+            if op == "stats":
+                return {"ok": True, "stats": self.gateway.stats().as_dict()}
+            raise GatewayError(f"unknown op {op!r}")
+        except GatewayError as exc:
+            return {"ok": False, "error": str(exc), "code": exc.code}
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}", "code": 400}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 -- serving boundary
+            # e.g. BrokenProcessPool after a worker OOM-kill: reply 500
+            # and keep the connection alive instead of dying with a bare
+            # EOF at the client
+            return {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+                "code": 500,
+            }
+
+
+class GatewayClient:
+    """Asyncio client for :class:`GatewayServer` (examples, load harness).
+
+    One client = one connection = one request in flight at a time; drive
+    concurrent load with one client per simulated player.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "GatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        """Raw round trip; returns the reply dict (``ok`` may be false --
+        load harnesses count rejections from it)."""
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return json.loads(line)
+
+    def _checked(self, reply: dict) -> dict:
+        if not reply.get("ok"):
+            code = reply.get("code", 400)
+            exc_type = {404: SessionNotFound, 503: GatewayOverloaded}.get(
+                code, GatewayError
+            )
+            raise exc_type(reply.get("error", "gateway error"))
+        return reply
+
+    async def new_match(
+        self, game: str = "tictactoe", size: int | None = None
+    ) -> int:
+        reply = self._checked(
+            await self.request({"op": "new", "game": game, "size": size})
+        )
+        return int(reply["session"])
+
+    async def move(
+        self,
+        session: int,
+        action: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return self._checked(
+            await self.request(
+                {
+                    "op": "move",
+                    "session": session,
+                    "action": action,
+                    "deadline_ms": deadline_ms,
+                }
+            )
+        )
+
+    async def resign(self, session: int) -> dict:
+        return self._checked(await self.request({"op": "resign", "session": session}))
+
+    async def stats(self) -> dict:
+        reply = self._checked(await self.request({"op": "stats"}))
+        return reply["stats"]
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass

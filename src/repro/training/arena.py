@@ -29,6 +29,9 @@ class MatchRecord:
     second: str
     winner: int  # +1, -1 or 0
     moves: int
+    #: per-match rng seed (set when the arena runs off a seed ladder);
+    #: replaying the pairing with this seed reproduces the game exactly
+    seed: int | None = None
 
     def score_for(self, name: str) -> float:
         """1 for a win, 0.5 for a draw, 0 for a loss (Elo convention)."""
@@ -55,7 +58,17 @@ class ArenaResult:
 
 
 class Arena:
-    """Round-robin tournament runner."""
+    """Round-robin tournament runner.
+
+    Replayability: pass ``seed_ladder`` (an int root) and every match
+    gets its own deterministic seed derived from
+    ``(seed_ladder, match index)`` -- never from how earlier games
+    consumed the shared stream -- so a tournament is reproducible
+    match-for-match and any single :class:`MatchRecord` can be replayed
+    from its recorded :attr:`~MatchRecord.seed` alone (the same
+    one-root-``SeedSequence`` contract as
+    :func:`repro.utils.rng.seed_ladder`).
+    """
 
     def __init__(
         self,
@@ -64,6 +77,7 @@ class Arena:
         temperature: float = 0.0,
         opening_random_moves: int = 1,
         rng: np.random.Generator | int | None = None,
+        seed_ladder: int | None = None,
     ) -> None:
         if num_playouts < 1:
             raise ValueError("num_playouts must be >= 1")
@@ -74,24 +88,46 @@ class Arena:
         self.temperature = temperature
         self.opening_random_moves = opening_random_moves
         self.rng = new_rng(rng)
+        self.seed_ladder = seed_ladder
 
-    def play_game(self, first, second, first_name: str, second_name: str) -> MatchRecord:
-        """One game; *first* moves as player +1."""
+    def play_game(
+        self,
+        first,
+        second,
+        first_name: str,
+        second_name: str,
+        seed: int | None = None,
+    ) -> MatchRecord:
+        """One game; *first* moves as player +1.  With *seed* the match
+        runs off its own generator (and records the seed) instead of the
+        arena's shared stream."""
+        rng = self.rng if seed is None else new_rng(seed)
         game: Game = self.game_factory()
         moves = 0
         while not game.is_terminal:
             if moves < self.opening_random_moves:
                 # randomised openings de-correlate deterministic agents
-                action = int(self.rng.choice(game.legal_actions()))
+                action = int(rng.choice(game.legal_actions()))
             else:
                 agent = first if game.current_player == 1 else second
                 prior = agent.get_action_prior(game, self.num_playouts)
-                action = sample_action(prior, self.rng, self.temperature)
+                action = sample_action(prior, rng, self.temperature)
             game.step(action)
             moves += 1
         winner = game.winner
         assert winner is not None
-        return MatchRecord(first=first_name, second=second_name, winner=int(winner), moves=moves)
+        return MatchRecord(
+            first=first_name, second=second_name, winner=int(winner),
+            moves=moves, seed=seed,
+        )
+
+    def _match_seeds(self, n: int) -> list[int | None]:
+        if self.seed_ladder is None:
+            return [None] * n
+        state = np.random.SeedSequence(self.seed_ladder).generate_state(
+            n, np.uint64
+        )
+        return [int(s) for s in state]
 
     def round_robin(
         self, agents: dict[str, object], games_per_pair: int = 2
@@ -101,11 +137,18 @@ class Arena:
             raise ValueError("need at least two agents")
         if games_per_pair < 1:
             raise ValueError("games_per_pair must be >= 1")
+        pairings = [
+            (name_a, name_b)
+            for name_a, name_b in itertools.permutations(agents, 2)
+            for _ in range(games_per_pair)
+        ]
+        seeds = self._match_seeds(len(pairings))
         result = ArenaResult()
-        for name_a, name_b in itertools.permutations(agents, 2):
-            for _ in range(games_per_pair):
-                record = self.play_game(agents[name_a], agents[name_b], name_a, name_b)
-                result.records.append(record)
+        for (name_a, name_b), seed in zip(pairings, seeds):
+            record = self.play_game(
+                agents[name_a], agents[name_b], name_a, name_b, seed=seed
+            )
+            result.records.append(record)
         return result
 
 

@@ -27,6 +27,9 @@ class EpisodeResult:
     winner: int = 0
     moves: int = 0
     total_playouts: int = 0
+    #: the action transcript, one entry per ply -- what the golden-
+    #: transcript regression fixtures replay move-for-move
+    actions: list[int] = field(default_factory=list)
 
 
 def play_episode(
@@ -64,6 +67,7 @@ def play_episode(
         temp = temperature if result.moves < temperature_moves else 0.0
         action = sample_action(prior, rng, temp)
         env.step(action)
+        result.actions.append(int(action))
         result.moves += 1
         result.total_playouts += num_playouts
 

@@ -1,0 +1,272 @@
+"""SearchBudget property suite: anytime search must be safe to deploy.
+
+Two contracts guard the deadline plumbing threaded through every scheme:
+
+(a) **Count parity.**  A budget whose deadline never fires is
+    *bit-identical* to the historic integer-count API -- deadline checks
+    read the clock but never consume RNG or reorder work.  Asserted for
+    every scheme on both tree backends (worker counts chosen so the
+    scheme itself is deterministic), plus a Hypothesis sweep over
+    seeds/budgets/backends for the serial engine.
+
+(b) **Anytime validity.**  However tight the deadline, search returns
+    within budget + tolerance and still yields a valid normalised prior
+    supported only on legal moves (the ``min_playouts`` floor).
+
+A regression in either breaks the gateway's latency promise or silently
+changes self-play data, so both are exact assertions, not approximate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import TicTacToe
+from repro.mcts import SearchBudget, SerialMCTS, UniformEvaluator, as_budget
+from repro.mcts.budget import BudgetClock
+from repro.mcts.reuse import TreeReuseMCTS
+from repro.parallel import (
+    LeafParallelMCTS,
+    LocalTreeMCTS,
+    LockFreeSharedTreeMCTS,
+    RootParallelMCTS,
+    SharedTreeMCTS,
+    SpeculativeMCTS,
+)
+
+GENEROUS_MS = 120_000.0  # a deadline that can never fire in these tests
+
+#: deterministic configuration per scheme: worker counts where the
+#: scheme's transcript does not depend on thread interleaving (the same
+#: degenerate-parity convention the scheme-equivalence suite uses)
+SCHEME_FACTORIES = {
+    "serial": lambda ev, rng, tb: SerialMCTS(ev, rng=rng, tree_backend=tb),
+    "shared_tree": lambda ev, rng, tb: SharedTreeMCTS(
+        ev, num_workers=1, rng=rng, tree_backend=tb
+    ),
+    "lock_free": lambda ev, rng, tb: LockFreeSharedTreeMCTS(
+        ev, num_workers=1, rng=rng, tree_backend=tb
+    ),
+    "local_tree": lambda ev, rng, tb: LocalTreeMCTS(
+        ev, num_workers=1, batch_size=1, rng=rng, tree_backend=tb
+    ),
+    "leaf_parallel": lambda ev, rng, tb: LeafParallelMCTS(
+        ev, num_workers=2, rng=rng, tree_backend=tb
+    ),
+    "root_parallel": lambda ev, rng, tb: RootParallelMCTS(
+        ev, num_workers=3, rng=rng, tree_backend=tb
+    ),
+    "speculative": lambda ev, rng, tb: SpeculativeMCTS(
+        UniformEvaluator(), ev, num_workers=2, rng=rng, tree_backend=tb
+    ),
+}
+
+
+def _close(scheme) -> None:
+    close = getattr(scheme, "close", None)
+    if close is not None:
+        close()
+
+
+def _assert_valid_prior(prior: np.ndarray, game) -> None:
+    assert prior.shape == (game.action_size,)
+    assert np.all(prior >= 0)
+    assert prior.sum() == pytest.approx(1.0)
+    legal = game.legal_mask()
+    assert np.all(prior[~legal] == 0), "prior mass on illegal moves"
+
+
+class TestBudgetValidation:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError, match="num_playouts and/or"):
+            SearchBudget()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SearchBudget(num_playouts=0)
+        with pytest.raises(ValueError):
+            SearchBudget(time_budget_ms=-1.0)
+        with pytest.raises(ValueError):
+            SearchBudget(num_playouts=8, check_interval=0)
+        with pytest.raises(ValueError):
+            SearchBudget(num_playouts=8, min_playouts=0)
+
+    def test_as_budget_coerces_ints(self):
+        budget = as_budget(40)
+        assert budget.num_playouts == 40 and budget.time_budget_ms is None
+        assert as_budget(budget) is budget
+        with pytest.raises(ValueError):
+            as_budget(0)
+
+
+class TestBudgetClock:
+    def test_count_target_is_exact(self):
+        clock = SearchBudget(num_playouts=5).start()
+        for _ in range(4):
+            clock.note()
+            assert not clock.done()
+        clock.note()
+        assert clock.done()
+
+    def test_try_claim_bounded_by_target(self):
+        clock = SearchBudget(num_playouts=3).start()
+        assert [clock.try_claim() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_expired_deadline_still_grants_min_playouts(self):
+        clock = SearchBudget(time_budget_ms=0.0).start()
+        time.sleep(0.001)
+        assert clock.expired()
+        grants = [clock.try_claim() for _ in range(5)]
+        assert sum(grants) == SearchBudget(time_budget_ms=0.0).min_playouts
+
+    def test_seed_raises_the_min_floor(self):
+        clock = SearchBudget(time_budget_ms=0.0, min_playouts=1).start()
+        clock.seed(1)  # e.g. a root expansion that left children unvisited
+        time.sleep(0.001)
+        # one genuine claim must still be granted beyond the seeded work
+        assert clock.try_claim()
+        assert not clock.try_claim()
+
+    def test_split_shares_the_absolute_deadline(self):
+        clock = SearchBudget(num_playouts=9, time_budget_ms=50.0).start()
+        child = clock.split(3)
+        assert child.deadline == clock.deadline
+        assert child.target == 3 and clock.target == 9
+
+    def test_done_without_deadline_never_time_gates(self):
+        clock = SearchBudget(num_playouts=10).start()
+        clock.note(9)
+        assert not clock.done()
+
+
+class TestCountParity:
+    """(a): generous-deadline anytime search == count-budgeted search,
+    for every scheme on both tree backends."""
+
+    @pytest.mark.parametrize("backend", ["node", "array"])
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_scheme_parity(self, name, backend):
+        make = SCHEME_FACTORIES[name]
+        game = TicTacToe()
+        counted = make(UniformEvaluator(), 123, backend)
+        try:
+            reference = counted.get_action_prior(game.copy(), 48)
+        finally:
+            _close(counted)
+        anytime = make(UniformEvaluator(), 123, backend)
+        try:
+            budgeted = anytime.get_action_prior(
+                game.copy(),
+                SearchBudget(num_playouts=48, time_budget_ms=GENEROUS_MS),
+            )
+        finally:
+            _close(anytime)
+        np.testing.assert_array_equal(reference, budgeted)
+
+    @pytest.mark.parametrize("backend", ["node", "array"])
+    def test_tree_reuse_parity_across_moves(self, backend):
+        """Reuse semantics (total-visit top-up) must survive budgeting:
+        parity must hold move after move on the same warm tree."""
+        counted = TreeReuseMCTS(UniformEvaluator(), rng=7, tree_backend=backend)
+        budgeted = TreeReuseMCTS(UniformEvaluator(), rng=7, tree_backend=backend)
+        game = TicTacToe()
+        for _ in range(3):
+            a = counted.get_action_prior(game.copy(), 40)
+            b = budgeted.get_action_prior(
+                game.copy(),
+                SearchBudget(num_playouts=40, time_budget_ms=GENEROUS_MS),
+            )
+            np.testing.assert_array_equal(a, b)
+            action = int(np.argmax(a))
+            game.step(action)
+            counted.observe(action)
+            budgeted.observe(action)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        playouts=st.integers(2, 64),
+        backend=st.sampled_from(["node", "array"]),
+        check_interval=st.integers(1, 8),
+    )
+    def test_serial_parity_property(self, seed, playouts, backend, check_interval):
+        game = TicTacToe()
+        reference = SerialMCTS(
+            UniformEvaluator(), rng=seed, tree_backend=backend
+        ).get_action_prior(game.copy(), playouts)
+        budgeted = SerialMCTS(
+            UniformEvaluator(), rng=seed, tree_backend=backend
+        ).get_action_prior(
+            game.copy(),
+            SearchBudget(
+                num_playouts=playouts,
+                time_budget_ms=GENEROUS_MS,
+                check_interval=check_interval,
+            ),
+        )
+        np.testing.assert_array_equal(reference, budgeted)
+
+
+class TestAnytimeValidity:
+    """(b): tight deadlines return promptly with a valid prior."""
+
+    #: wall-clock tolerance beyond the budget (scheduler jitter + one
+    #: playout's overshoot; generous for loaded CI boxes)
+    TOLERANCE_S = 0.5
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        deadline_ms=st.floats(0.0, 5.0),
+    )
+    def test_serial_tight_deadline_property(self, seed, deadline_ms):
+        game = TicTacToe()
+        budget = SearchBudget(time_budget_ms=deadline_ms)
+        t0 = time.perf_counter()
+        prior = SerialMCTS(UniformEvaluator(), rng=seed).get_action_prior(
+            game, budget
+        )
+        elapsed = time.perf_counter() - t0
+        assert elapsed <= deadline_ms / 1e3 + self.TOLERANCE_S
+        _assert_valid_prior(prior, game)
+
+    @pytest.mark.parametrize("backend", ["node", "array"])
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_all_schemes_tight_deadline(self, name, backend):
+        game = TicTacToe()
+        budget = SearchBudget(time_budget_ms=1.0)
+        scheme = SCHEME_FACTORIES[name](UniformEvaluator(), 5, backend)
+        try:
+            t0 = time.perf_counter()
+            prior = scheme.get_action_prior(game, budget)
+            elapsed = time.perf_counter() - t0
+        finally:
+            _close(scheme)
+        assert elapsed <= 1.0 / 1e3 + self.TOLERANCE_S, name
+        _assert_valid_prior(prior, game)
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_deadline_actually_binds(self, name):
+        """A deadline far below the count bound must cut the search
+        short: the root accumulates fewer visits than the cap."""
+        game = TicTacToe()
+
+        class SlowUniform(UniformEvaluator):
+            def evaluate(self, g):
+                time.sleep(0.002)
+                return super().evaluate(g)
+
+        budget = SearchBudget(num_playouts=100_000, time_budget_ms=25.0)
+        scheme = SCHEME_FACTORIES[name](SlowUniform(), 5, "node")
+        try:
+            root = scheme.search(game.copy(), budget)
+        finally:
+            _close(scheme)
+        assert 0 < root.visit_count < 100_000, name

@@ -19,6 +19,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["configure", "--game", "chess"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.backend == "thread"
+        assert args.deadline_ms == 200.0
+        assert args.demo_games == 0
+        assert args.port == 0
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "quantum"])
+
 
 class TestCommands:
     def test_configure_cpu(self, capsys):
@@ -56,3 +67,21 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "throughput" in out
+
+    def test_serve_demo_smoke(self, capsys):
+        """The CI gateway smoke: demo sessions through the TCP client,
+        clean shutdown, stats printed."""
+        rc = main(["serve", "--demo-games", "2", "--deadline-ms", "150",
+                   "--playouts", "8", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gateway listening" in out
+        assert "demo session 2" in out
+        assert "latency_p99_ms" in out
+        assert "sessions_finished    2" in out
+
+    def test_serve_demo_uniform_evaluator(self, capsys):
+        rc = main(["serve", "--demo-games", "1", "--deadline-ms", "100",
+                   "--playouts", "8", "--evaluator", "uniform"])
+        assert rc == 0
+        assert "moves_served" in capsys.readouterr().out

@@ -73,6 +73,65 @@ class TestArena:
             Arena(TicTacToe, num_playouts=0)
 
 
+class TestReplayability:
+    """The seed-ladder contract: tournaments reproduce exactly, and any
+    single match replays from its recorded seed alone."""
+
+    @staticmethod
+    def _agents():
+        # SerialMCTS with dirichlet_epsilon=0 never consumes its own rng,
+        # so all randomness flows through the arena's per-match streams
+        return {
+            "a": SerialMCTS(UniformEvaluator(), rng=0),
+            "b": SerialMCTS(UniformEvaluator(), c_puct=2.0, rng=0),
+        }
+
+    def test_round_robin_reproduces_exactly(self):
+        results = [
+            Arena(
+                TicTacToe, num_playouts=20, temperature=1.0,
+                opening_random_moves=2, seed_ladder=42,
+            ).round_robin(self._agents(), games_per_pair=3)
+            for _ in range(2)
+        ]
+        assert results[0].records == results[1].records
+
+    def test_records_carry_their_seed(self):
+        arena = Arena(TicTacToe, num_playouts=10, seed_ladder=7)
+        result = arena.round_robin(self._agents(), games_per_pair=2)
+        seeds = [r.seed for r in result.records]
+        assert all(s is not None for s in seeds)
+        assert len(set(seeds)) == len(seeds)  # one independent stream each
+
+    def test_single_match_replays_from_recorded_seed(self):
+        arena = Arena(
+            TicTacToe, num_playouts=20, temperature=1.0,
+            opening_random_moves=2, seed_ladder=99,
+        )
+        agents = self._agents()
+        record = arena.round_robin(agents, games_per_pair=1).records[0]
+        replay = arena.play_game(
+            agents[record.first], agents[record.second],
+            record.first, record.second, seed=record.seed,
+        )
+        assert replay == record
+
+    def test_different_ladders_differ(self):
+        plays = [
+            Arena(
+                TicTacToe, num_playouts=10, temperature=1.0,
+                opening_random_moves=2, seed_ladder=root,
+            ).round_robin(self._agents(), games_per_pair=4)
+            for root in (0, 1)
+        ]
+        assert plays[0].records != plays[1].records
+
+    def test_unseeded_arena_keeps_legacy_behaviour(self):
+        arena = Arena(TicTacToe, num_playouts=10, rng=0)
+        result = arena.round_robin(self._agents(), games_per_pair=1)
+        assert all(r.seed is None for r in result.records)
+
+
 class TestElo:
     def _records(self, wins_ab, wins_ba, draws=0):
         recs = []
