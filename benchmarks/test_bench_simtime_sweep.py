@@ -1,0 +1,156 @@
+"""E17 -- virtual-time 10k-session deadline sweep (the simtime headline).
+
+The acceptance scenario for the Clock seam: ten thousand sessions arrive
+over one simulated hour of Poisson-ish traffic, each client drawing a
+per-move deadline from the 10-200 ms sweep, with 1% slow clients
+stalling 400 ms per move -- the load shape the wall-clock soak could
+never touch (it tops out at dozens of sessions and zero simulated
+hours).  On the :class:`~repro.utils.clock.VirtualClock` the whole hour
+runs in a few wall seconds, and *deterministically*: the benchmark runs
+the scenario twice from one seed and gates on the transcripts being
+identical, bit for bit.
+
+Gates:
+
+- **Determinism.**  Two runs of the same spec produce identical event
+  transcripts and gateway stats -- the property every simtime test
+  stands on, asserted at full scale.
+- **Compression.**  >= 1 simulated hour must complete in under 60 s of
+  wall clock per run (locally it is a few seconds).
+- **Deadline-miss structure.**  Misses concentrate where the script
+  says they must: every served slow-client move (stall 400 ms > any
+  deadline in the sweep) is a miss, and the overall miss count matches
+  the gateway counter.
+
+Writes ``out/E17_simtime_sweep`` (per-deadline-band miss rates plus the
+run summary) for the nightly artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import ScenarioRunner, ScenarioSpec, generate_script
+
+WALL_BUDGET_S = 60.0
+SPEC = ScenarioSpec(
+    seed=17,
+    sessions=10_000,
+    arrival_window_s=3600.0,
+    deadline_ms=(10.0, 200.0),
+    think_time_s=(0.5, 8.0),
+    service_time_ms=(1.0, 8.0),
+    moves_per_session=(1, 3),
+    slow_client_fraction=0.01,
+    slow_stall_ms=400.0,
+    max_inflight=64,
+    max_sessions=100_000,
+)
+BANDS = ((10.0, 50.0), (50.0, 100.0), (100.0, 150.0), (150.0, 200.0))
+
+
+@pytest.fixture(scope="module")
+def sweep_runs():
+    runner = ScenarioRunner(SPEC)
+    return runner.run(), runner.run()
+
+
+def test_full_scale_run_is_deterministic(sweep_runs):
+    first, second = sweep_runs
+    assert first.events == second.events, (
+        "same seed, different transcript: the simulation is not deterministic"
+    )
+    assert first.stats == second.stats
+    assert first.sim_seconds == second.sim_seconds
+
+
+def test_simulated_hour_compresses_into_the_wall_budget(sweep_runs):
+    for run in sweep_runs:
+        run.require(
+            run.sim_seconds >= 3600.0,
+            f"scenario only simulated {run.sim_seconds:.0f}s",
+        )
+        run.require(
+            run.wall_seconds < WALL_BUDGET_S,
+            f"{run.sim_seconds:.0f} simulated seconds took "
+            f"{run.wall_seconds:.1f}s wall (budget {WALL_BUDGET_S:g}s)",
+        )
+
+
+def test_deadline_sweep_table(sweep_runs, emit):
+    result, _ = sweep_runs
+    script = {c.client_id: c for c in generate_script(SPEC)}
+    rows = []
+    for lo, hi in BANDS:
+        moves = [e for e in result.moves if lo <= script[e[1]].deadline_ms < hi]
+        misses = sum(e[6] for e in moves)
+        rows.append(
+            {
+                "deadline_band_ms": f"{lo:g}-{hi:g}",
+                "moves": len(moves),
+                "deadline_misses": misses,
+                "miss_rate": round(misses / len(moves), 4) if moves else 0.0,
+            }
+        )
+    rows.append(
+        {
+            "deadline_band_ms": "all",
+            "moves": len(result.moves),
+            "deadline_misses": int(result.stats.deadline_misses),
+            "miss_rate": round(
+                result.stats.deadline_misses / len(result.moves), 4
+            )
+            if result.moves
+            else 0.0,
+            **{
+                k: v
+                for k, v in result.summary().items()
+                if k
+                in (
+                    "sessions",
+                    "admitted",
+                    "admission_rate",
+                    "latency_p50_virtual_ms",
+                    "latency_p99_virtual_ms",
+                    "sim_seconds",
+                    "wall_seconds",
+                )
+            },
+        }
+    )
+    emit(
+        "E17_simtime_sweep",
+        rows,
+        note=f"{SPEC.sessions} sessions over {SPEC.arrival_window_s:g}s "
+        f"simulated, deadlines {SPEC.deadline_ms[0]:g}-{SPEC.deadline_ms[1]:g}ms, "
+        f"{SPEC.slow_client_fraction:.0%} slow clients (+{SPEC.slow_stall_ms:g}ms)",
+    )
+    assert sum(r["moves"] for r in rows[:-1]) == len(result.moves)
+
+
+def test_misses_follow_the_script(sweep_runs):
+    result, _ = sweep_runs
+    script = {c.client_id: c for c in generate_script(SPEC)}
+    flagged = sum(e[6] for e in result.moves)
+    result.require(
+        flagged == result.stats.deadline_misses,
+        f"clients flagged {flagged} misses, gateway counted "
+        f"{result.stats.deadline_misses}",
+    )
+    slow_served = [e for e in result.moves if script[e[1]].slow]
+    result.require(bool(slow_served), "no slow client was ever served")
+    for event in slow_served:
+        result.require(
+            event[6] == 1,
+            f"slow client {event[1]} beat a deadline below its 400ms stall",
+        )
+
+
+def test_no_starvation_and_no_leaks(sweep_runs):
+    result, _ = sweep_runs
+    result.require(not result.of_kind("starved"), "a client was starved")
+    result.require(
+        result.leftover_sessions == 0,
+        f"{result.leftover_sessions} sessions leaked past the final sweep",
+    )
+    assert result.stats.inflight == 0

@@ -64,6 +64,7 @@ from repro.mcts.backend import TreeBackend, resolve_backend
 from repro.mcts.evaluation import Evaluator
 from repro.serving.engine import ServingStats
 from repro.training.selfplay import EpisodeResult, play_episode
+from repro.utils.clock import WALL_CLOCK, Clock
 from repro.utils.rng import seed_ladder
 
 __all__ = ["FarmError", "FarmStats", "SelfPlayFarm"]
@@ -177,6 +178,9 @@ class SelfPlayFarm:
     max_retries : how many times one episode may be re-run after worker
         deaths before the round fails with :class:`FarmError`.
     tree_backend : storage layout for the default per-episode trees.
+    clock : time source for round wall-clock accounting and the
+        evaluator's linger bookkeeping (wall by default; process joins
+        and pipe waits are always real OS time).
 
     Use :meth:`run_round` for episodes + stats; :meth:`close` (or the
     context-manager form) terminates the processes and unlinks every
@@ -199,6 +203,7 @@ class SelfPlayFarm:
         ring_depth: int = 2,
         max_retries: int = 2,
         tree_backend: TreeBackend | str | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -215,6 +220,7 @@ class SelfPlayFarm:
         self.temperature = temperature
         self.max_moves = max_moves
         self.linger = linger
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
         self.ring_depth = ring_depth
         self.max_retries = max_retries
         self.tree_backend = resolve_backend(tree_backend, TreeBackend.ARRAY)
@@ -285,6 +291,7 @@ class SelfPlayFarm:
                 self.counters,
                 self.linger,
                 self._batch_cap,
+                self.clock,
             ),
             name="farm-evaluator",
             daemon=True,
@@ -457,7 +464,7 @@ class SelfPlayFarm:
         idle = set(range(self.num_workers))
         last_error: str | None = None
 
-        t0 = time.perf_counter()
+        t0 = self.clock.perf_counter()
         while len(results) < len(episode_rngs):
             while idle and queue:
                 w = idle.pop()
@@ -524,7 +531,7 @@ class SelfPlayFarm:
                 idle.add(w)
             with self._active.get_lock():
                 self._active.value = len(busy)
-        wall = time.perf_counter() - t0
+        wall = self.clock.perf_counter() - t0
         with self._active.get_lock():
             self._active.value = 0
 

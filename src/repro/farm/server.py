@@ -29,7 +29,6 @@ the successor's epoch fence.
 
 from __future__ import annotations
 
-import time
 from multiprocessing.connection import Connection, wait
 from typing import TYPE_CHECKING, Callable
 
@@ -38,6 +37,7 @@ import numpy as np
 from repro.farm.counters import FarmCounters
 from repro.mcts.evaluation import Evaluator
 from repro.nn.infer import ensure_plan
+from repro.utils.clock import WALL_CLOCK, Clock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.farm.rings import EvaluationRings
@@ -74,8 +74,16 @@ def evaluator_main(
     counters: FarmCounters,
     linger: float,
     batch_cap: int,
+    clock: Clock | None = None,
 ) -> None:
-    """Entry point of the evaluator process (invoked post-fork)."""
+    """Entry point of the evaluator process (invoked post-fork).
+
+    *clock* times the linger window (ages of pending requests); wall by
+    default.  The blocking ``wait()`` on the doorbells is necessarily
+    real OS time -- a virtual clock only makes the linger *bookkeeping*
+    simulable, which is what the in-thread harness tests drive.
+    """
+    clock = WALL_CLOCK if clock is None else clock
     evaluate = resolve_encoded_evaluator(evaluator)
     # compile the fused plan before serving: the parent's thread-local
     # workspaces did not survive the fork, and the first worker batch
@@ -109,7 +117,7 @@ def evaluator_main(
     while True:
         timeout = None
         if pending:
-            timeout = max(0.0, linger - (time.monotonic() - oldest))
+            timeout = max(0.0, linger - (clock.monotonic() - oldest))
         ready = wait([*doorbells, control], timeout=timeout)
         stop = False
         for conn in ready:
@@ -133,7 +141,7 @@ def evaluator_main(
             try:
                 while conn.poll():
                     if not pending:
-                        oldest = time.monotonic()
+                        oldest = clock.monotonic()
                     slot, epoch = conn.recv()
                     pending.append((wid, slot, epoch))
             except (EOFError, OSError):  # pragma: no cover - parent holds ends
@@ -142,9 +150,9 @@ def evaluator_main(
             if not pending:
                 break
             flush()
-        if pending and time.monotonic() - oldest >= linger:
+        if pending and clock.monotonic() - oldest >= linger:
             flush()
-            oldest = time.monotonic()
+            oldest = clock.monotonic()
         if stop:
             while pending:
                 flush()

@@ -25,7 +25,7 @@ from repro.mcts.backend import (
     make_root,
     resolve_backend,
 )
-from repro.mcts.budget import BudgetClock, SearchBudget, as_budget
+from repro.mcts.budget import BudgetClock, BudgetSnapshot, SearchBudget, as_budget
 from repro.mcts.evaluation import (
     Evaluation,
     Evaluator,
@@ -55,6 +55,7 @@ __all__ = [
     "ArrayNodeView",
     "ArrayTree",
     "BudgetClock",
+    "BudgetSnapshot",
     "ConstantVirtualLoss",
     "Evaluation",
     "Evaluator",

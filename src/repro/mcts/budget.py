@@ -29,10 +29,11 @@ to deadline-budgeted callers.
 from __future__ import annotations
 
 import threading
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["SearchBudget", "BudgetClock", "as_budget"]
+from repro.utils.clock import WALL_CLOCK, Clock
+
+__all__ = ["SearchBudget", "BudgetClock", "BudgetSnapshot", "as_budget"]
 
 #: array-backend capacity hint when only a time bound is given (the tree
 #: still grows by doubling, so this is a pre-allocation guess, not a cap)
@@ -59,12 +60,19 @@ class SearchBudget:
         The default is 2 because the first serial playout only *expands*
         the root; the second is the earliest that visits a child, and a
         root without visited children has no prior to normalise.
+    clock : time source the armed :class:`BudgetClock` reads; ``None``
+        (the default, and the production path) means :data:`WALL_CLOCK`.
+        Virtual-time tests inject a
+        :class:`~repro.utils.clock.VirtualClock` so deadlines fire on
+        simulated time.  Excluded from equality: two budgets with the
+        same bounds are the same budget whatever clock arms them.
     """
 
     num_playouts: int | None = None
     time_budget_ms: float | None = None
     check_interval: int = 1
     min_playouts: int = 2
+    clock: Clock | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_playouts is None and self.time_budget_ms is None:
@@ -103,6 +111,31 @@ def as_budget(budget: "int | SearchBudget") -> SearchBudget:
     return SearchBudget(num_playouts=int(budget))
 
 
+@dataclass(frozen=True)
+class BudgetSnapshot:
+    """One clock read, both deadline views.
+
+    ``expired`` and ``remaining_ms`` are derived from the *same* instant
+    (:attr:`at`), so within a snapshot ``remaining_ms > 0`` iff
+    ``expired`` is False -- the consistency :meth:`BudgetClock.expired`
+    and :meth:`BudgetClock.remaining_ms` cannot promise *across* two
+    separate calls, each of which re-reads the clock.
+    """
+
+    at: float
+    deadline: float | None
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and self.at >= self.deadline
+
+    @property
+    def remaining_ms(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return max(0.0, (self.deadline - self.at) * 1000.0)
+
+
 class BudgetClock:
     """A started :class:`SearchBudget`: deadline timestamp + progress.
 
@@ -111,10 +144,17 @@ class BudgetClock:
     one budget never run a playout past either bound.  Schemes that fan
     out sub-searches (root-parallel) derive per-worker clocks sharing the
     same absolute deadline via :meth:`split`.
+
+    Time is read through the budget's injected
+    :class:`~repro.utils.clock.Clock` (wall by default).  Every internal
+    deadline decision reads the clock exactly once via :meth:`snapshot`;
+    callers that need "remaining and expired" to agree must do the same
+    rather than pairing :meth:`remaining_ms` with :meth:`expired`.
     """
 
     __slots__ = (
         "budget",
+        "clock",
         "target",
         "deadline",
         "completed",
@@ -128,15 +168,17 @@ class BudgetClock:
         budget: SearchBudget,
         target: int | None,
         deadline=_UNSET,
+        clock: Clock | None = None,
     ) -> None:
         self.budget = budget
-        self.target = target
+        self.clock = clock if clock is not None else (budget.clock or WALL_CLOCK)
         if deadline is _UNSET:
             deadline = (
                 None
                 if budget.time_budget_ms is None
-                else time.perf_counter() + budget.time_budget_ms / 1000.0
+                else self.clock.perf_counter() + budget.time_budget_ms / 1000.0
             )
+        self.target = target
         self.deadline = deadline
         self.completed = 0
         self._claimed = 0
@@ -146,17 +188,24 @@ class BudgetClock:
     def split(self, target: int | None) -> "BudgetClock":
         """A fresh clock with its own counters but the *same* absolute
         deadline (root-parallel workers race one shared wall clock)."""
-        return BudgetClock(self.budget, target, self.deadline)
+        return BudgetClock(self.budget, target, self.deadline, self.clock)
 
     # -- time ---------------------------------------------------------------
+    def snapshot(self) -> BudgetSnapshot:
+        """Freeze the deadline state at one clock read."""
+        return BudgetSnapshot(self.clock.perf_counter(), self.deadline)
+
     def expired(self) -> bool:
-        """Has the wall-clock deadline passed?  (Never true without one.)"""
-        return self.deadline is not None and time.perf_counter() >= self.deadline
+        """Has the deadline passed?  (Never true without one.)
+
+        Convenience over a fresh :meth:`snapshot`; pair with
+        :meth:`remaining_ms` only through one snapshot when the two
+        answers must be mutually consistent.
+        """
+        return self.snapshot().expired
 
     def remaining_ms(self) -> float | None:
-        if self.deadline is None:
-            return None
-        return max(0.0, (self.deadline - time.perf_counter()) * 1000.0)
+        return self.snapshot().remaining_ms
 
     # -- serial draining ----------------------------------------------------
     def note(self, n: int = 1) -> None:
@@ -173,7 +222,7 @@ class BudgetClock:
             return False
         if self.completed % self.budget.check_interval != 0:
             return False
-        return self.expired()
+        return self.snapshot().expired
 
     def seed(self, n: int = 1) -> None:
         """Record *n* playouts already performed outside the drain loop
@@ -204,7 +253,7 @@ class BudgetClock:
                 self.deadline is not None
                 and self._claimed >= self._floor
                 and self._claimed % self.budget.check_interval == 0
-                and self.expired()
+                and self.snapshot().expired
             ):
                 return False
             self._claimed += 1

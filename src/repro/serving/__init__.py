@@ -16,6 +16,10 @@ single-game self-play to request-serving):
   request-facing front door: deadline-budgeted match sessions with
   admission control, idle GC and latency percentiles, plus the
   newline-JSON TCP :class:`GatewayServer` / :class:`GatewayClient` pair.
+- :mod:`repro.serving.simulate` -- the virtual-time scenario harness:
+  scripted client populations driving a real gateway on a
+  :class:`~repro.utils.clock.VirtualClock`, compressing hours of soak
+  into deterministic seconds (``tests/simtime`` and the E17 sweep).
 """
 
 from repro.serving.cache import CachingEvaluator, EvaluationCache
@@ -23,6 +27,14 @@ from repro.serving.engine import (
     LatencyTracker,
     MultiGameSelfPlayEngine,
     ServingStats,
+)
+from repro.serving.simulate import (
+    InlineExecutor,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    SimulatedSearchExecutor,
+    generate_script,
 )
 from repro.serving.service import (
     GatewayClient,
@@ -45,12 +57,18 @@ __all__ = [
     "GatewayOverloaded",
     "GatewayServer",
     "GatewayStats",
+    "InlineExecutor",
     "InvalidMove",
     "LatencyTracker",
     "MatchGateway",
     "MoveReply",
     "MultiGameSelfPlayEngine",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "ServingStats",
     "SessionNotFound",
     "SessionStatus",
+    "SimulatedSearchExecutor",
+    "generate_script",
 ]

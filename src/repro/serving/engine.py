@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -47,6 +47,7 @@ from repro.nn.infer import ensure_plan
 from repro.parallel.evaluator import BatchingEvaluator
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.training.selfplay import EpisodeResult, play_episode
+from repro.utils.clock import WALL_CLOCK, Clock
 from repro.utils.rng import new_rng, spawn_rngs
 
 __all__ = ["LatencyTracker", "ServingStats", "MultiGameSelfPlayEngine"]
@@ -60,17 +61,30 @@ class LatencyTracker:
     percentiles track current behaviour -- the serving-telemetry trade-off
     every production latency histogram makes.  Used for per-move search
     latency in both the self-play engine and the match gateway.
+
+    *clock* feeds :meth:`measure`; recording pre-computed durations via
+    :meth:`record` never reads it.  Defaults to wall time.
     """
 
-    def __init__(self, window: int = 4096) -> None:
+    def __init__(self, window: int = 4096, clock: Clock | None = None) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self._window = window
         self._samples: list[float] = []
         self._next = 0  # ring cursor once the window is full
         self._lock = threading.Lock()
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
         self.count = 0
         self.total = 0.0
+
+    @contextmanager
+    def measure(self):
+        """Record the body's duration (by this tracker's clock) on exit."""
+        t0 = self.clock.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(self.clock.perf_counter() - t0)
 
     def record(self, seconds: float) -> None:
         with self._lock:
@@ -121,11 +135,8 @@ class _TimedScheme:
         self._tracker = tracker
 
     def get_action_prior(self, game: Game, num_playouts) -> np.ndarray:
-        t0 = time.perf_counter()
-        try:
+        with self._tracker.measure():
             return self._scheme.get_action_prior(game, num_playouts)
-        finally:
-            self._tracker.record(time.perf_counter() - t0)
 
     def close(self) -> None:
         close = getattr(self._scheme, "close", None)
@@ -242,6 +253,7 @@ class MultiGameSelfPlayEngine:
         backend: str = "thread",
         num_workers: int | None = None,
         max_retries: int = 2,
+        clock: Clock | None = None,
     ) -> None:
         if num_games < 1:
             raise ValueError("num_games must be >= 1")
@@ -263,6 +275,7 @@ class MultiGameSelfPlayEngine:
         self.temperature = temperature
         self.max_moves = max_moves
         self.rng = new_rng(rng)
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
         # compile the fused inference plan up front (no-op for network-less
         # or reference-backend evaluators) so the round's first batch never
         # pays plan compilation; the farm's evaluator process does the same
@@ -292,6 +305,7 @@ class MultiGameSelfPlayEngine:
                 linger=linger,
                 max_retries=max_retries,
                 tree_backend=self.tree_backend,
+                clock=self.clock,
             )
             # the process backend's cache/queue counterparts: the farm's
             # shared cache serves the role of the LRU cache (same clear()
@@ -318,7 +332,7 @@ class MultiGameSelfPlayEngine:
         self._pool: ThreadPoolExecutor | None = None
         self._active_lock = threading.Lock()
         self._active_games = 0
-        self._round_latency = LatencyTracker()
+        self._round_latency = LatencyTracker(clock=self.clock)
 
     # -- lifecycle -----------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -394,11 +408,11 @@ class MultiGameSelfPlayEngine:
         # restore the full threshold (a previous round's tail shrank it)
         self.queue.set_batch_size(self._round_batch_size)
         # fresh tracker per round: the stats below are per-round deltas
-        self._round_latency = LatencyTracker()
+        self._round_latency = LatencyTracker(clock=self.clock)
 
-        t0 = time.perf_counter()
+        t0 = self.clock.perf_counter()
         results = list(pool.map(self._play_one, rngs))
-        wall = time.perf_counter() - t0
+        wall = self.clock.perf_counter() - t0
 
         requests = self.queue.requests_served - base_requests
         batches = self.queue.batches_flushed - base_batches

@@ -39,7 +39,6 @@ import asyncio
 import enum
 import itertools
 import json
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -54,6 +53,7 @@ from repro.mcts.serial import SerialMCTS
 from repro.nn.infer import ensure_plan
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.serving.engine import LatencyTracker
+from repro.utils.clock import WALL_CLOCK, Clock, WallClock
 from repro.utils.rng import new_rng
 
 __all__ = [
@@ -274,6 +274,21 @@ class MatchGateway:
     deadline_tolerance_ms : slack before a served move counts as a
         deadline miss in :class:`GatewayStats` (queueing, scheduling and
         one in-flight leaf evaluation live inside this).
+    clock : time source for everything the gateway stamps or schedules --
+        deadline arming, per-move latency, session ``last_active``, the
+        idle-GC sweep cadence.  ``None`` (the default) is
+        :data:`~repro.utils.clock.WALL_CLOCK`: production behaviour,
+        bit-identical to the pre-seam gateway.  Virtual-time tests
+        inject a :class:`~repro.utils.clock.VirtualClock`; the process
+        backend rejects non-wall clocks (a forked worker cannot share a
+        simulated timeline).
+    executor : search executor override (thread backend only).  The
+        deterministic simulation harness injects an inline executor so
+        searches run synchronously on the event-loop thread and virtual
+        time cannot advance mid-search; ``None`` builds the usual
+        :class:`~concurrent.futures.ThreadPoolExecutor`.  Injected
+        executors are *borrowed*: :meth:`aclose` does not shut them
+        down.
     """
 
     def __init__(
@@ -294,11 +309,22 @@ class MatchGateway:
         tree_backend: str | None = None,
         cache_capacity: int = 8192,
         seed: int | np.random.Generator | None = 0,
+        clock: Clock | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend == "process" and clock is not None and not isinstance(
+            clock, WallClock
+        ):
+            raise ValueError(
+                "backend='process' only serves wall time: forked workers "
+                "cannot observe an in-process virtual clock"
+            )
+        if backend == "process" and executor is not None:
+            raise ValueError("executor injection is a thread-backend knob")
         if deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
         if num_playouts < 1:
@@ -321,7 +347,8 @@ class MatchGateway:
         self.c_puct = c_puct
         self.tree_backend = tree_backend
         self.rng = new_rng(seed)
-        self.latency = LatencyTracker()
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
+        self.latency = LatencyTracker(clock=self.clock)
 
         self._sessions: dict[int, _Session] = {}
         self._next_session_id = 1  # monotonic, never reused
@@ -339,6 +366,7 @@ class MatchGateway:
         self._deadline_misses = 0
 
         self._executor: Executor
+        self._owns_executor = executor is None
         self._fork_key: int | None = None
         if backend == "process":
             import multiprocessing
@@ -353,8 +381,10 @@ class MatchGateway:
             self._shared_evaluator = None
         else:
             ensure_plan(getattr(self.evaluator, "network", None))
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="gateway-search"
+            self._executor = executor if executor is not None else (
+                ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="gateway-search"
+                )
             )
             # sessions share one LRU evaluation cache: a position any
             # session has evaluated never reaches the network again
@@ -379,7 +409,8 @@ class MatchGateway:
                 pass
             self._gc_task = None
         self._sessions.clear()
-        self._executor.shutdown(wait=True)
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
         if self._fork_key is not None:
             _FORK_REGISTRY.pop(self._fork_key, None)
             self._fork_key = None
@@ -392,12 +423,12 @@ class MatchGateway:
 
     async def _gc_loop(self) -> None:
         while True:
-            await asyncio.sleep(self.gc_interval_s)
+            await self.clock.sleep(self.gc_interval_s)
             self.expire_idle()
 
     def expire_idle(self, now: float | None = None) -> list[int]:
         """Expire sessions idle past ``idle_timeout_s``; returns their ids."""
-        now = time.monotonic() if now is None else now
+        now = self.clock.monotonic() if now is None else now
         stale = [
             s
             for s in list(self._sessions.values())
@@ -451,7 +482,7 @@ class MatchGateway:
         session_id = self._next_session_id
         self._next_session_id += 1
         self._sessions[session_id] = _Session(
-            session_id, state, agent, self.rng.spawn(1)[0], time.monotonic()
+            session_id, state, agent, self.rng.spawn(1)[0], self.clock.monotonic()
         )
         self._created += 1
         return session_id
@@ -491,8 +522,13 @@ class MatchGateway:
         ``None``.  Otherwise the engine searches under
         ``SearchBudget(num_playouts, remaining deadline)`` and plays the
         visit-count argmax.
+
+        Latency stamps, ``last_active`` and the idle-GC sweep all read
+        the *same* injected clock's ``monotonic()``: a session's
+        activity and the sweep judging it can never disagree about what
+        time it is (the historic ``perf_counter``-vs-``monotonic`` mix).
         """
-        t0 = time.perf_counter()
+        t0 = self.clock.monotonic()
         deadline = self.deadline_ms if deadline_ms is None else float(deadline_ms)
         if deadline <= 0:
             raise GatewayError("deadline_ms must be positive")
@@ -512,12 +548,12 @@ class MatchGateway:
                 reply = await self._play_move_locked(session, action, deadline, t0)
         finally:
             self._inflight -= 1
-        latency_ms = (time.perf_counter() - t0) * 1e3
+        latency_ms = (self.clock.monotonic() - t0) * 1e3
         self.latency.record(latency_ms / 1e3)
         self._moves_served += 1
         if latency_ms > deadline + self.deadline_tolerance_ms:
             self._deadline_misses += 1
-        session.last_active = time.monotonic()
+        session.last_active = self.clock.monotonic()
         return MoveReply(
             session_id=session_id,
             engine_action=reply[0],
@@ -537,6 +573,10 @@ class MatchGateway:
         deadline: float,
         t0: float,
     ) -> tuple[int | None, np.ndarray | None, bool, int | None]:
+        # stamp activity at move *start* as well as completion: a GC
+        # sweep during a long search sees a fresh timestamp, not one
+        # stale since the previous move (the held lock is the backstop)
+        session.last_active = t0
         game = session.game
         if action is not None:
             # validate the untrusted wire value before it indexes anything
@@ -564,10 +604,11 @@ class MatchGateway:
         # the search gets whatever wall clock the request has left after
         # validation/queueing; floor at 1ms so an exhausted allowance
         # still yields the budget's min_playouts (a valid, if tiny, prior)
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        elapsed_ms = (self.clock.monotonic() - t0) * 1e3
         budget = SearchBudget(
             num_playouts=self.num_playouts,
             time_budget_ms=max(1.0, deadline - elapsed_ms),
+            clock=self.clock,
         )
         loop = asyncio.get_running_loop()
         if self.backend == "process":

@@ -30,6 +30,7 @@ from repro.games import TicTacToe
 from repro.mcts import SearchBudget, SerialMCTS, UniformEvaluator, as_budget
 from repro.mcts.budget import BudgetClock
 from repro.mcts.reuse import TreeReuseMCTS
+from repro.utils.clock import VirtualClock
 from repro.parallel import (
     LeafParallelMCTS,
     LocalTreeMCTS,
@@ -144,6 +145,86 @@ class TestBudgetClock:
         clock = SearchBudget(num_playouts=10).start()
         clock.note(9)
         assert not clock.done()
+
+
+class _SteppingClock:
+    """Adversarial clock: every ``perf_counter`` read jumps time forward.
+
+    Models the worst case of the historic bug where ``remaining_ms()``
+    and ``expired()`` each re-read the clock: with enough drift between
+    two reads the pair could report "time remains" *and* "expired".
+    """
+
+    def __init__(self, step_s: float) -> None:
+        self.t = 0.0
+        self.step_s = step_s
+        self.reads = 0
+
+    def monotonic(self) -> float:
+        return self.perf_counter()
+
+    def perf_counter(self) -> float:
+        self.reads += 1
+        now = self.t
+        self.t += self.step_s
+        return now
+
+    async def sleep(self, seconds: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class TestBudgetSnapshot:
+    """Satellite regression: one clock read per deadline decision."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        budget_ms=st.floats(0.0, 100.0),
+        step_ms=st.floats(0.0, 50.0),
+        stray_reads=st.integers(0, 8),
+    )
+    def test_one_snapshot_never_disagrees_with_itself(
+        self, budget_ms, step_ms, stray_reads
+    ):
+        clock = _SteppingClock(step_s=step_ms / 1e3)
+        bc = SearchBudget(time_budget_ms=budget_ms, clock=clock).start()
+        for _ in range(stray_reads):
+            bc.expired()  # stray checks drift the clock arbitrarily
+        snap = bc.snapshot()
+        if snap.remaining_ms > 0:
+            assert not snap.expired
+        else:
+            assert snap.expired and snap.remaining_ms == 0.0
+
+    def test_separate_calls_can_disagree_a_snapshot_cannot(self):
+        """The hazard the snapshot API exists for, made concrete: 6 ms of
+        drift per read against a 10 ms budget makes the *paired* calls
+        contradict each other, while any single snapshot stays coherent."""
+        clock = _SteppingClock(step_s=0.006)
+        bc = SearchBudget(time_budget_ms=10.0, clock=clock).start()
+        remaining = bc.remaining_ms()  # read at t=6ms -> 4ms left
+        expired = bc.expired()  # read at t=12ms -> past the deadline
+        assert remaining > 0 and expired, "the adversarial setup regressed"
+        snap = bc.snapshot()
+        assert snap.expired and snap.remaining_ms == 0.0
+
+    def test_done_reads_the_clock_exactly_once_per_check(self):
+        clock = _SteppingClock(step_s=0.0)
+        bc = SearchBudget(
+            num_playouts=100, time_budget_ms=50.0, clock=clock
+        ).start()
+        bc.note(bc.budget.min_playouts)  # past the floor, at a boundary
+        before = clock.reads
+        bc.done()
+        assert clock.reads - before == 1
+
+    def test_deadline_on_a_virtual_clock(self):
+        clock = VirtualClock()
+        bc = SearchBudget(time_budget_ms=25.0, clock=clock).start()
+        assert not bc.expired()
+        assert bc.remaining_ms() == pytest.approx(25.0)
+        clock.advance(0.025)
+        snap = bc.snapshot()
+        assert snap.expired and snap.remaining_ms == 0.0
 
 
 class TestCountParity:

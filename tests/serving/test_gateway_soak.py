@@ -1,23 +1,24 @@
-"""Gateway soak suite (``soak`` marker -- nightly lane).
+"""Wall-clock gateway smoke (``soak`` marker -- nightly lane).
 
-Pushes the gateway well past the unit tests: >= 64 concurrent sessions
-played to completion through the public API, asserting the three
-properties a long-lived serving process must not lose:
+**Scenario authors: start at ``tests/simtime`` instead.**  The scale and
+duration coverage that used to live here -- 64-session soaks, idle-GC
+over hours, exact backpressure sweeps -- moved to the virtual-time
+harness (:mod:`repro.serving.simulate`), where it runs deterministically
+in the push lane in seconds.  What remains here is the one thing virtual
+time cannot assert: that the gateway on the default
+:data:`~repro.utils.clock.WALL_CLOCK` -- real thread pool, real
+``asyncio.sleep``, real GIL time-slicing -- still honours the same
+contracts.  This is the WallClock-parity smoke for the Clock seam, kept
+deliberately small:
 
-- **No session leaks.**  Every session ends FINISHED / RESIGNED /
-  EXPIRED and leaves the table; after the final idle-GC sweep the
-  gateway is empty and the lifecycle counters reconcile exactly with
-  what the clients observed.
-- **Bounded latency.**  Every served move (and therefore p99) stays
-  within deadline + tolerance.  The tolerance is wide by design: on a
-  single-core CI box N admitted searches time-slice one GIL, so a move's
-  wall clock stretches up to ``max_inflight``-fold past its own search
-  budget -- the bound asserted here is the *admission-scaled* one the
-  architecture actually promises.  (Unbounded queueing is what must
-  never happen; that is the rejection path below.)
-- **Exact rejection accounting.**  Under forced backpressure the 503
-  count seen by clients equals the gateway's ``rejected`` counter --
-  shed load is *accounted* load.
+- **No session leaks.**  Every session ends FINISHED and leaves the
+  table; counters reconcile exactly with what the clients observed.
+- **Bounded latency.**  Served moves stay within the *admission-scaled*
+  bound (a move may time-slice one GIL with up to ``max_inflight``
+  searches), with generous slack for a loaded CI box -- the simtime
+  suite asserts the tight bound.
+- **Exact rejection accounting.**  503s seen by clients equal the
+  gateway's ``rejected`` counter.
 """
 
 from __future__ import annotations
@@ -26,13 +27,12 @@ import asyncio
 
 import pytest
 
-from repro.games import TicTacToe
 from repro.mcts import UniformEvaluator
 from repro.serving import GatewayOverloaded, MatchGateway
 
 pytestmark = pytest.mark.soak
 
-SESSIONS = 64
+SESSIONS = 16
 DEADLINE_MS = 50.0
 WORKERS = 4
 MAX_INFLIGHT = 8
@@ -63,9 +63,9 @@ async def _play_to_completion(gw: MatchGateway, results: list) -> None:
             return
 
 
-class TestGatewaySoak:
+class TestGatewayWallSmoke:
     @pytest.fixture(scope="class")
-    def soak_run(self):
+    def smoke_run(self):
         gw = MatchGateway(
             UniformEvaluator(),
             backend="thread",
@@ -89,8 +89,8 @@ class TestGatewaySoak:
         stats, leftover = asyncio.run(run())
         return gw, results, stats, leftover
 
-    def test_all_sessions_complete(self, soak_run):
-        _, results, stats, _ = soak_run
+    def test_all_sessions_complete(self, smoke_run):
+        _, results, stats, _ = smoke_run
         assert len(results) == SESSIONS
         assert stats.sessions_created == SESSIONS
         assert stats.sessions_finished == SESSIONS
@@ -99,21 +99,21 @@ class TestGatewaySoak:
             "session ids must be a contiguous monotonic block"
         )
 
-    def test_zero_session_leaks_after_gc(self, soak_run):
-        gw, _, _, leftover = soak_run
+    def test_zero_session_leaks_after_gc(self, smoke_run):
+        gw, _, _, leftover = smoke_run
         assert leftover == 0  # finished sessions left the table on their own
         swept = gw.expire_idle(now=1e12)  # final sweep finds nothing to free
         assert swept == [] and gw.session_count == 0
 
-    def test_move_accounting_reconciles(self, soak_run):
-        _, results, stats, _ = soak_run
+    def test_move_accounting_reconciles(self, smoke_run):
+        _, results, stats, _ = smoke_run
         assert stats.moves_served == sum(moves for _, moves, _, _ in results)
         client_retries = sum(r for _, _, r, _ in results)
         assert stats.rejected == client_retries  # every 503 was counted once
         assert stats.inflight == 0
 
-    def test_every_move_within_admission_scaled_deadline(self, soak_run):
-        _, results, stats, _ = soak_run
+    def test_every_move_within_admission_scaled_deadline(self, smoke_run):
+        _, results, stats, _ = smoke_run
         worst = max(max(lats) for *_, lats in results)
         assert worst <= DEADLINE_MS + TOLERANCE_MS, (
             f"worst served move {worst:.1f}ms exceeds "
@@ -161,7 +161,7 @@ class TestForcedBackpressure:
         assert stats.moves_served == served
 
 
-class TestProcessBackendSoak:
+class TestProcessBackendSmoke:
     def test_concurrent_sessions_on_forked_workers(self):
         sessions = 16
         gw = MatchGateway(
