@@ -1,0 +1,193 @@
+"""E18 -- cluster failover: throughput vs shard count, recovery, rollout.
+
+The acceptance artifact for the fault-tolerant sharded serving layer.
+Three questions, all answered in deterministic virtual time on the
+chaos harness (:class:`~repro.serving.simulate.ClusterScenarioRunner`):
+
+1. **Scale-out.**  The same 1.5k-session virtual-hour workload runs on
+   1 / 2 / 4 shards; sessions/virtual-sec and p99 move latency per
+   fleet size, with zero sessions lost at every width.
+2. **Recovery.**  A 3-shard fleet loses one shard mid-load; the table
+   reports the time from the scripted kill to the router's respawn
+   event (detection + failover + epoch-fenced restart) and gates on
+   zero accepted sessions lost with exact disposition accounting.
+3. **Rollout.**  A full-fleet zero-downtime weight roll under live
+   admissions, gated at **zero** admission rejections (the ring must
+   route around each shard's drain-light window).
+
+Writes ``out/E18_cluster_failover`` for the nightly artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.serving.simulate import (
+    ClusterScenarioRunner,
+    FaultEvent,
+    ScenarioSpec,
+)
+
+pytestmark = pytest.mark.chaos
+
+WALL_BUDGET_S = 60.0
+BASE = ScenarioSpec(
+    seed=18,
+    sessions=1500,
+    arrival_window_s=3600.0,
+    deadline_ms=(20.0, 200.0),
+    think_time_s=(0.5, 8.0),
+    service_time_ms=(1.0, 8.0),
+    moves_per_session=(1, 4),
+    slow_client_fraction=0.0,
+    max_inflight=64,
+    max_sessions=100_000,
+    idle_timeout_s=900.0,
+    gc_interval_s=120.0,
+)
+
+
+def run_spec(spec: ScenarioSpec):
+    return ClusterScenarioRunner(spec).run()
+
+
+def test_throughput_vs_shard_count(emit):
+    rows = []
+    for shards in (1, 2, 4):
+        result = run_spec(replace(BASE, shards=shards))
+        stats = result.stats
+        stats.check_accounting()
+        result.require(stats.sessions_lost == 0, f"lost sessions at {shards}")
+        result.require(
+            result.wall_seconds < WALL_BUDGET_S,
+            f"{shards}-shard run blew the wall budget",
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "admitted": stats.sessions_admitted,
+                "sessions_per_sim_s": round(
+                    stats.sessions_admitted / result.sim_seconds, 3
+                ),
+                "moves_served": stats.moves_served,
+                "p50_ms": round(stats.latency_p50_ms, 3),
+                "p99_ms": round(stats.latency_p99_ms, 3),
+                "lost": stats.sessions_lost,
+                "wall_s": round(result.wall_seconds, 2),
+            }
+        )
+    emit(
+        "E18_cluster_failover",
+        rows,
+        "same scripted virtual hour on wider fleets; lost pinned at 0",
+    )
+
+
+def test_kill_recovery_time(emit):
+    kill_at = 1200.0
+    spec = replace(
+        BASE,
+        shards=3,
+        faults=(FaultEvent(at_s=kill_at, kind="kill", shard=1),),
+    )
+    result = run_spec(spec)
+    stats = result.stats
+    stats.check_accounting()
+    result.require(stats.sessions_lost == 0, "kill lost accepted sessions")
+    result.require(stats.shard_restarts == 1, "victim did not respawn")
+    detected = next(
+        t for t, kind, _ in result.cluster_events if kind == "shard_down"
+    )
+    respawned = next(
+        t
+        for t, kind, detail in result.cluster_events
+        if kind == "spawn" and "epoch 1" in detail
+    )
+    relocations = [
+        (t, detail)
+        for t, kind, detail in result.cluster_events
+        if kind == "relocate"
+    ]
+    last_relocation = max((t for t, _ in relocations), default=detected)
+    emit(
+        "E18_cluster_failover_recovery",
+        [
+            {
+                "kill_at_sim_s": kill_at,
+                "detected_after_s": round(detected - kill_at, 3),
+                "respawned_after_s": round(respawned - kill_at, 3),
+                "failover_complete_after_s": round(
+                    max(last_relocation, respawned) - kill_at, 3
+                ),
+                "sessions_readmitted": stats.sessions_readmitted,
+                "sessions_lost": stats.sessions_lost,
+                "move_retries": stats.move_retries,
+            }
+        ],
+        "virtual seconds from SIGKILL-equivalent to detection, respawn "
+        "(epoch 1) and last session re-admission",
+    )
+    # detection is streak-gated pings: threshold * interval, plus slack
+    assert detected - kill_at <= 10.0
+    assert respawned >= detected
+
+
+def test_rollout_rejections_gated_at_zero(emit):
+    async def main():
+        from repro.cluster import ShardRouter, ShardSpec, roll_weights
+        from repro.games import build_network_for
+        from repro.serving import InlineExecutor
+        from repro.serving.service import build_game
+
+        router = ShardRouter.local(
+            3,
+            ShardSpec(
+                shard_id=0,
+                evaluator="network",
+                num_playouts=2,
+                deadline_ms=50.0,
+                gc_interval_s=120.0,
+            ),
+            executor=InlineExecutor(),
+            health_interval_s=60.0,
+        )
+        await router.start()
+        try:
+            async def churn(n):
+                finished = 0
+                for _ in range(n):
+                    sid = await router.create_session()
+                    reply = await router.play_move(sid)
+                    if not reply["done"]:
+                        await router.resign(sid)
+                    finished += 1
+                    await asyncio.sleep(0)
+                return finished
+
+            net = build_network_for(
+                build_game("tictactoe", None), channels=(8, 16, 16), rng=99
+            )
+            report, served = await asyncio.gather(
+                roll_weights(router, net.state_dict()), churn(40)
+            )
+            stats = router.stats()
+            stats.check_accounting()
+            return report, served, stats
+        finally:
+            await router.aclose()
+
+    report, served, stats = asyncio.run(main())
+    assert report.rejections == 0, report.as_dict()
+    assert stats.sessions_rejected == 0
+    assert report.consistent
+    assert served == 40
+    emit(
+        "E18_cluster_failover_rollout",
+        [s.as_dict() for s in report.steps],
+        f"full-fleet weight roll under {served} live admissions; "
+        f"rejections={report.rejections} (gate: 0), "
+        f"target v{report.target_version}",
+    )

@@ -20,6 +20,12 @@ serve     : start the async match-serving gateway -- concurrent game
     (``--deadline-ms``), with admission control and latency percentiles;
     ``--demo-games K`` plays K concurrent engine-vs-engine sessions
     through the TCP client and exits (the CI smoke path).
+cluster   : start a fault-tolerant shard fleet -- ``--shards N`` forked
+    gateway processes behind a consistent-hash router with health
+    checks, retry/backoff and crash re-admission; ``--kill-shard``
+    SIGTERMs the busiest shard mid-demo and the run exits nonzero if
+    any accepted session is lost; ``--roll-weights`` additionally
+    performs a zero-downtime weight rollout across the fleet.
 """
 
 from __future__ import annotations
@@ -169,6 +175,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--demo-games", type=int, default=0,
         help="play K concurrent engine-vs-engine demo sessions through "
              "the TCP client, print stats, and exit (0 = serve forever)",
+    )
+
+    p_cl = sub.add_parser(
+        "cluster",
+        help="fault-tolerant shard fleet (router + health checks + "
+             "crash re-admission)",
+    )
+    p_cl.add_argument("--game", default="tictactoe",
+                      choices=["gomoku", "tictactoe", "connect4"])
+    p_cl.add_argument("--size", type=int, default=None)
+    p_cl.add_argument("--shards", type=int, default=2,
+                      help="gateway shard processes behind the router")
+    p_cl.add_argument("--workers", type=int, default=2,
+                      help="search threads per shard")
+    p_cl.add_argument("--deadline-ms", type=float, default=200.0)
+    p_cl.add_argument("--playouts", type=int, default=64)
+    p_cl.add_argument("--seed", type=int, default=0)
+    p_cl.add_argument(
+        "--evaluator", default="uniform", choices=["network", "uniform"],
+        help="per-shard evaluator (network required for --roll-weights)",
+    )
+    p_cl.add_argument("--demo-games", type=int, default=4,
+                      help="concurrent engine-vs-engine sessions to play "
+                           "through the router")
+    p_cl.add_argument(
+        "--kill-shard", action="store_true",
+        help="SIGTERM the busiest shard mid-demo (chaos smoke: the run "
+             "fails if any accepted session is lost)",
+    )
+    p_cl.add_argument("--kill-after", type=float, default=0.5,
+                      help="seconds into the demo to deliver the SIGTERM")
+    p_cl.add_argument(
+        "--roll-weights", action="store_true",
+        help="perform a zero-downtime weight rollout across the fleet "
+             "while the demo plays (needs --evaluator network)",
     )
     return parser
 
@@ -412,6 +453,127 @@ def cmd_serve(args) -> int:
         return 0
 
 
+def cmd_cluster(args) -> int:
+    import asyncio
+
+    from repro.cluster import ShardRouter, ShardSpec, roll_weights
+    from repro.serving import GatewayConnectionError, GatewayOverloaded
+
+    base = ShardSpec(
+        shard_id=0,
+        game=args.game,
+        size=args.size,
+        evaluator=args.evaluator,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        num_playouts=args.playouts,
+        workers=args.workers,
+    )
+    router = ShardRouter.processes(
+        args.shards,
+        base,
+        seed=args.seed,
+        health_interval_s=0.2,
+        health_timeout_s=2.0,
+        failure_threshold=2,
+        restart_limit=1,
+    )
+
+    async def demo_session(cid: int) -> tuple[str, int]:
+        for _ in range(500):
+            try:
+                session = await router.create_session(args.game, args.size)
+                break
+            except GatewayOverloaded:
+                await asyncio.sleep(0.01)
+        else:
+            return "starved", 0
+        moves = 0
+        while True:
+            try:
+                reply = await router.play_move(
+                    session, deadline_ms=args.deadline_ms
+                )
+            except GatewayOverloaded:
+                await asyncio.sleep(0.01)
+                continue
+            except GatewayConnectionError:
+                return "lost", moves
+            moves += 1
+            if reply["done"]:
+                return "done", moves
+
+    async def chaos() -> None:
+        if not args.kill_shard:
+            return
+        await asyncio.sleep(args.kill_after)
+        victim = max(router._slots, key=lambda s: (len(s.sessions), -s.index))
+        link = victim.link
+        if link is not None and hasattr(link, "terminate"):
+            print(f"chaos: SIGTERM shard {victim.index} (pid {link.pid}, "
+                  f"{len(victim.sessions)} sessions aboard)")
+            link.terminate()
+
+    async def rollout() -> None:
+        if not args.roll_weights:
+            return
+        if args.evaluator != "network":
+            print("note: --roll-weights needs --evaluator network; skipping")
+            return
+        from repro.games import build_network_for
+        from repro.serving.service import build_game
+
+        await asyncio.sleep(args.kill_after / 2)
+        net = build_network_for(
+            build_game(args.game, args.size),
+            channels=(8, 16, 16),
+            rng=args.seed + 1,  # distinct weights: the version must move
+        )
+        report = await roll_weights(router, net.state_dict())
+        print(f"rollout: target v{report.target_version}, "
+              f"rejections={report.rejections}, "
+              f"consistent={report.consistent}")
+
+    async def run() -> int:
+        await router.start()
+        print(f"cluster up: {args.shards} shards "
+              f"(evaluator={args.evaluator}, workers={args.workers}/shard, "
+              f"deadline={args.deadline_ms:g}ms)")
+        try:
+            results = await asyncio.gather(
+                chaos(),
+                rollout(),
+                *[demo_session(i) for i in range(args.demo_games)],
+            )
+            outcomes = results[2:]
+            for i, (kind, moves) in enumerate(outcomes):
+                print(f"demo session {i + 1}: {kind} after {moves} moves")
+            await router.refresh_shard_stats()
+            stats = router.stats()
+            for key, value in stats.as_dict().items():
+                if key == "shards":
+                    for row in value:
+                        print(f"  shard {row['shard_id']}: epoch {row['epoch']} "
+                              f"alive={row['alive']} restarts={row['restarts']} "
+                              f"p99={row['latency_p99_ms']}ms")
+                    continue
+                print(f"  {key:22s} {value}")
+            stats.check_accounting()
+            if stats.sessions_lost > 0:
+                print(f"FAIL: {stats.sessions_lost} accepted sessions lost")
+                return 1
+            print("ok: zero accepted sessions lost")
+            return 0
+        finally:
+            await router.aclose()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("cluster stopped")
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=4, suppress=True)
@@ -425,6 +587,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_selfplay(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "cluster":
+        return cmd_cluster(args)
     raise AssertionError("unreachable")
 
 

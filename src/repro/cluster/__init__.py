@@ -1,0 +1,41 @@
+"""Fault-tolerant sharded serving: router, health, draining, rollout.
+
+The serving gateway (:mod:`repro.serving`) is one process with one
+session table; this package scales it out and makes it survivable.  A
+:class:`ShardRouter` consistent-hashes sessions across N shard
+gateways, watches them with an active :class:`HealthMonitor`, retries
+transport faults under a deterministic :class:`BackoffPolicy` with
+idempotent request ids, re-admits sessions off dead or draining shards
+via the gateway ``restore`` op, and rolls new network weights across
+the fleet one drain-light window at a time (:func:`roll_weights`)
+without dropping a session.
+
+Everything runs on the injected :class:`~repro.utils.clock.Clock`, so
+the whole failure repertoire -- crashes, lost replies, retry storms,
+rolling upgrades -- replays deterministically under
+:class:`~repro.utils.clock.VirtualClock` in the chaos suite.
+"""
+
+from repro.cluster.health import BackoffPolicy, HealthMonitor
+from repro.cluster.rollout import RolloutReport, ShardRollout, roll_weights
+from repro.cluster.router import HashRing, SessionRecord, ShardRouter, ShardSlot
+from repro.cluster.shard import LocalShard, ProcessShard, ShardLink, ShardSpec
+from repro.cluster.stats import ClusterStats, ShardSnapshot
+
+__all__ = [
+    "BackoffPolicy",
+    "ClusterStats",
+    "HashRing",
+    "HealthMonitor",
+    "LocalShard",
+    "ProcessShard",
+    "RolloutReport",
+    "SessionRecord",
+    "ShardLink",
+    "ShardRollout",
+    "ShardRouter",
+    "ShardSlot",
+    "ShardSnapshot",
+    "ShardSpec",
+    "roll_weights",
+]

@@ -1,0 +1,156 @@
+"""Active health checking and retry backoff for the shard fleet.
+
+Two pieces the router composes:
+
+- :class:`BackoffPolicy` -- bounded exponential backoff whose jitter is
+  *deterministic*: each logical operation derives its own rng stream via
+  :func:`repro.utils.rng.keyed_rng` keyed by (cluster seed, session,
+  move index), so a retried move's delay schedule depends only on its
+  identity, never on how concurrent operations interleave.  Same seed,
+  same faults => the same timeline, which is what lets the chaos suite
+  compare two runs with ``==``.
+- :class:`HealthMonitor` -- a single supervising task that pings every
+  shard each interval on the injected :class:`~repro.utils.clock.Clock`,
+  counts consecutive failures per shard, and declares a shard unhealthy
+  (invoking the router's failover callback exactly once per incident)
+  after ``threshold`` misses in a row.  One slow ping never marks a
+  shard down; only a streak does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Iterator, Sequence
+
+from repro.utils.clock import Clock
+from repro.utils.rng import keyed_rng
+
+__all__ = ["BackoffPolicy", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff with symmetric deterministic jitter.
+
+    Attempt *k* (0-based) sleeps ``min(max_s, base_s * multiplier**k)``
+    stretched by a uniform factor in ``[1 - jitter, 1 + jitter]`` drawn
+    from the operation's keyed rng stream.  ``max_retries`` bounds the
+    *retries*, not the attempts: an operation runs at most
+    ``1 + max_retries`` times.
+    """
+
+    base_s: float = 0.05
+    max_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0 or self.max_s < self.base_s:
+            raise ValueError("need 0 < base_s <= max_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def delay_s(self, attempt: int, rng) -> float:
+        raw = min(self.max_s, self.base_s * self.multiplier**attempt)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0))
+
+    def delays(self, seed: int | None, *key: int) -> Iterator[float]:
+        """The full delay schedule for one logical operation.
+
+        The stream is keyed by the operation's identity, so interleaving
+        with other operations cannot perturb it.
+        """
+        rng = keyed_rng(seed, *key)
+        for attempt in range(self.max_retries):
+            yield self.delay_s(attempt, rng)
+
+
+class HealthMonitor:
+    """Periodic ping sweep over the fleet with streak-based verdicts.
+
+    The monitor knows nothing about shards beyond three callables the
+    router wires in: ``targets()`` lists the slots to probe, ``ping(s)``
+    probes one (raising on failure), and ``on_unhealthy(s)`` fires once
+    when a slot crosses the consecutive-failure threshold.  Slots carry
+    their own ``consecutive_failures`` / ``healthy`` fields so a
+    respawned shard re-enters the sweep with a clean slate.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Clock,
+        targets: Callable[[], Sequence],
+        ping: Callable[[object], Awaitable[None]],
+        on_unhealthy: Callable[[object], Awaitable[None]],
+        interval_s: float = 1.0,
+        threshold: int = 3,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.clock = clock
+        self.interval_s = interval_s
+        self.threshold = threshold
+        self._targets = targets
+        self._ping = ping
+        self._on_unhealthy = on_unhealthy
+        self._task: asyncio.Task | None = None
+        self._stopped = False
+        self.sweeps = 0
+
+    def start(self) -> None:
+        assert self._task is None, "monitor already started"
+        self._stopped = False
+        self._task = asyncio.create_task(self._run(), name="cluster-health")
+
+    async def aclose(self) -> None:
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _run(self) -> None:
+        while not self._stopped:
+            await self.clock.sleep(self.interval_s)
+            if self._stopped:
+                return
+            await self.sweep()
+
+    async def sweep(self) -> None:
+        """One ping pass over the fleet (also callable directly in tests)."""
+        slots = list(self._targets())
+        if not slots:
+            return
+        # probe concurrently; gather keeps list order, so verdicts land
+        # deterministically even under a virtual clock
+        results = await asyncio.gather(
+            *(self._probe(slot) for slot in slots), return_exceptions=True
+        )
+        self.sweeps += 1
+        for slot, err in zip(slots, results):
+            if isinstance(err, asyncio.CancelledError):
+                raise err
+            if err is None:
+                slot.consecutive_failures = 0
+                continue
+            slot.consecutive_failures += 1
+            if slot.healthy and slot.consecutive_failures >= self.threshold:
+                slot.healthy = False
+                await self._on_unhealthy(slot)
+
+    async def _probe(self, slot) -> None:
+        await self._ping(slot)

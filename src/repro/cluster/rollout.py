@@ -1,0 +1,197 @@
+"""Zero-downtime versioned weight rollout across the shard fleet.
+
+:func:`roll_weights` walks the fleet one shard at a time; at every
+instant at most one shard is closed to *new* sessions and every shard
+keeps serving the moves it already holds:
+
+1. ``drain_light`` -- the shard stops admitting sessions (the router's
+   ring already routes new placements around draining shards, so the
+   expected admission-rejection count is exactly zero -- the rollout
+   gate);
+2. ``load_weights`` -- the wire-encoded state dict lands and bumps the
+   network's ``weights_version`` (the PR-4 seam); the compiled fused
+   plan is *not* rebuilt here -- the next evaluation lazily recompiles
+   from the new weights, an atomic per-process swap with no pause;
+3. ``version`` -- readback confirms the shard reports the expected
+   version;
+4. ``resume`` -- the shard re-opens for admissions before the next
+   shard begins.
+
+The returned :class:`RolloutReport` carries per-shard before/after
+versions and the admission rejections observed inside each shard's
+drain window; :attr:`RolloutReport.consistent` is the all-shards-agree
+check the CLI and benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.service import GatewayConnectionError, GatewayError
+from repro.utils.wire import encode_state
+
+__all__ = ["ShardRollout", "RolloutReport", "roll_weights"]
+
+
+@dataclass(frozen=True)
+class ShardRollout:
+    """One shard's passage through the rollout."""
+
+    shard_id: int
+    old_version: int | None
+    new_version: int | None
+    plan_version: int | None
+    rejections: int        # admissions bounced during this shard's window
+    duration_s: float
+    skipped: bool = False  # shard was down; it picks the weights up never
+                           # -- its respawn rebuilds from spec, flagged by
+                           # the report's consistency check
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "plan_version": self.plan_version,
+            "rejections": self.rejections,
+            "duration_s": round(self.duration_s, 6),
+            "skipped": self.skipped,
+        }
+
+
+@dataclass(frozen=True)
+class RolloutReport:
+    steps: tuple[ShardRollout, ...]
+    target_version: int | None
+
+    @property
+    def rejections(self) -> int:
+        return sum(s.rejections for s in self.steps)
+
+    @property
+    def consistent(self) -> bool:
+        """Every reachable shard landed on the same weight version."""
+        versions = {s.new_version for s in self.steps if not s.skipped}
+        return len(versions) == 1 and not any(s.skipped for s in self.steps)
+
+    def as_dict(self) -> dict:
+        return {
+            "target_version": self.target_version,
+            "rejections": self.rejections,
+            "consistent": self.consistent,
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+
+async def _shard_snapshot(router, slot) -> dict:
+    reply = await router._rpc(
+        slot, {"op": "stats"}, key=(slot.index, "rollout-stats")
+    )
+    if not reply.get("ok"):
+        raise router._typed_error(reply)
+    return reply["stats"]
+
+
+async def roll_weights(router, state_dict: dict) -> RolloutReport:
+    """Push *state_dict* to every shard, one drain-light window at a time.
+
+    Raises :class:`GatewayError` if a shard rejects the payload (e.g. a
+    weightless evaluator); a shard that is down is skipped and recorded,
+    which makes the report inconsistent rather than silently partial.
+    """
+    encoded = encode_state(state_dict)
+    steps: list[ShardRollout] = []
+    target: int | None = None
+    for slot in list(router._slots):
+        t0 = router.clock.monotonic()
+        if not slot.usable:
+            steps.append(
+                ShardRollout(
+                    shard_id=slot.index,
+                    old_version=slot.weights_version,
+                    new_version=None,
+                    plan_version=None,
+                    rejections=0,
+                    duration_s=0.0,
+                    skipped=True,
+                )
+            )
+            router._event("rollout_skip", f"shard {slot.index} is down")
+            continue
+        before = await _shard_snapshot(router, slot)
+        slot.draining = True  # ring routes admissions around us first
+        try:
+            reply = await router._rpc(
+                slot, {"op": "drain_light"}, key=(slot.index, "drain_light")
+            )
+            if not reply.get("ok"):
+                raise router._typed_error(reply)
+            reply = await router._rpc(
+                slot,
+                {"op": "load_weights", "state": encoded},
+                key=(slot.index, "load_weights"),
+            )
+            if not reply.get("ok"):
+                raise router._typed_error(reply)
+            new_version = int(reply["weights_version"])
+            reply = await router._rpc(
+                slot, {"op": "version"}, key=(slot.index, "rollout-verify")
+            )
+            if not reply.get("ok"):
+                raise router._typed_error(reply)
+            if reply.get("weights_version") != new_version:
+                raise GatewayError(
+                    f"shard {slot.index} readback disagrees: loaded "
+                    f"v{new_version}, reports v{reply.get('weights_version')}"
+                )
+            plan_version = reply.get("plan_version")
+            after = await _shard_snapshot(router, slot)
+            await router.resume_shard(slot.index)
+        except GatewayConnectionError:
+            # the shard died mid-window; health/failover owns it now
+            slot.draining = False
+            steps.append(
+                ShardRollout(
+                    shard_id=slot.index,
+                    old_version=slot.weights_version,
+                    new_version=None,
+                    plan_version=None,
+                    rejections=0,
+                    duration_s=router.clock.monotonic() - t0,
+                    skipped=True,
+                )
+            )
+            router._event(
+                "rollout_skip", f"shard {slot.index} died mid-window"
+            )
+            continue
+        rejections = int(after.get("drain_rejected", 0)) - int(
+            before.get("drain_rejected", 0)
+        )
+        old_version = before.get("weights_version")
+        slot.weights_version = new_version
+        target = new_version
+        steps.append(
+            ShardRollout(
+                shard_id=slot.index,
+                old_version=old_version,
+                new_version=new_version,
+                plan_version=plan_version,
+                rejections=rejections,
+                duration_s=router.clock.monotonic() - t0,
+            )
+        )
+        router._rollout_rejections += rejections
+        router._event(
+            "rollout_shard",
+            f"shard {slot.index}: v{old_version} -> v{new_version} "
+            f"({rejections} rejections in window)",
+        )
+    router._rollouts += 1
+    report = RolloutReport(steps=tuple(steps), target_version=target)
+    router._event(
+        "rollout_done",
+        f"target v{target}, rejections={report.rejections}, "
+        f"consistent={report.consistent}",
+    )
+    return report

@@ -1,0 +1,136 @@
+"""Cluster-level serving telemetry with exact session accounting.
+
+The single gateway's :class:`~repro.serving.service.GatewayStats` counts
+what one process did; :class:`ClusterStats` answers the fleet question
+the chaos suite gates on: *where did every admitted session end up?*
+The router maintains disposition-exclusive counters -- each admitted
+session is, at any quiescent instant, in exactly one of {active,
+completed, resigned, lost} -- plus relocation counters (``drained`` for
+planned moves, ``readmitted`` for crash recoveries) that tally *events*,
+not sessions, so a session surviving two shard deaths counts twice in
+``readmitted`` and still exactly once in its final disposition.
+
+:meth:`ClusterStats.check_accounting` asserts the identity; the chaos
+tests call it after every scripted failure timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShardSnapshot", "ClusterStats"]
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's health and serving state as the router sees it."""
+
+    shard_id: int
+    epoch: int
+    healthy: bool
+    draining: bool
+    alive: bool
+    sessions: int          # router-side records currently placed here
+    restarts: int
+    consecutive_failures: int
+    weights_version: int | None
+    latency_p50_ms: float
+    latency_p99_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "epoch": self.epoch,
+            "healthy": self.healthy,
+            "draining": self.draining,
+            "alive": self.alive,
+            "sessions": self.sessions,
+            "restarts": self.restarts,
+            "consecutive_failures": self.consecutive_failures,
+            "weights_version": self.weights_version,
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Fleet-lifetime counters rolled up by the router.
+
+    Session dispositions are exclusive and exhaustive::
+
+        admitted == active + completed + resigned + lost
+
+    ``drained`` / ``readmitted`` count relocation *events* (planned /
+    after crash); ``relocation_failures`` counts relocations that could
+    not find a surviving shard or whose restore RPC failed -- every such
+    failure puts its session into ``lost``, the number the chaos gate
+    pins at zero.
+    """
+
+    shards_total: int
+    shards_healthy: int
+    sessions_admitted: int
+    sessions_active: int
+    sessions_completed: int
+    sessions_resigned: int
+    sessions_lost: int
+    sessions_rejected: int
+    sessions_drained: int
+    sessions_readmitted: int
+    relocation_failures: int
+    moves_served: int
+    move_retries: int
+    rpc_failures: int
+    deduped_replies: int
+    shard_restarts: int
+    rollouts_completed: int
+    rollout_rejections: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    shards: tuple[ShardSnapshot, ...] = field(default=())
+
+    def check_accounting(self) -> None:
+        """Raise ``AssertionError`` unless every admitted session has
+        exactly one disposition (the chaos suite's core invariant)."""
+        total = (
+            self.sessions_active
+            + self.sessions_completed
+            + self.sessions_resigned
+            + self.sessions_lost
+        )
+        assert total == self.sessions_admitted, (
+            f"session accounting leak: admitted={self.sessions_admitted} "
+            f"!= active={self.sessions_active} + "
+            f"completed={self.sessions_completed} + "
+            f"resigned={self.sessions_resigned} + lost={self.sessions_lost}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "shards_total": self.shards_total,
+            "shards_healthy": self.shards_healthy,
+            "sessions_admitted": self.sessions_admitted,
+            "sessions_active": self.sessions_active,
+            "sessions_completed": self.sessions_completed,
+            "sessions_resigned": self.sessions_resigned,
+            "sessions_lost": self.sessions_lost,
+            "sessions_rejected": self.sessions_rejected,
+            "sessions_drained": self.sessions_drained,
+            "sessions_readmitted": self.sessions_readmitted,
+            "relocation_failures": self.relocation_failures,
+            "moves_served": self.moves_served,
+            "move_retries": self.move_retries,
+            "rpc_failures": self.rpc_failures,
+            "deduped_replies": self.deduped_replies,
+            "shard_restarts": self.shard_restarts,
+            "rollouts_completed": self.rollouts_completed,
+            "rollout_rejections": self.rollout_rejections,
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "shards": [s.as_dict() for s in self.shards],
+        }

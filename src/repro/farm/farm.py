@@ -59,6 +59,7 @@ from repro.farm.counters import FarmCounters
 from repro.farm.rings import EvaluationRings, RingClient
 from repro.farm.server import evaluator_main, resolve_encoded_evaluator
 from repro.farm.shm import SegmentRegistry
+from repro.farm.supervision import EpochFence, RetryBudget
 from repro.games.base import Game
 from repro.mcts.backend import TreeBackend, resolve_backend
 from repro.mcts.evaluation import Evaluator
@@ -260,7 +261,9 @@ class SelfPlayFarm:
         self._closed = False
         self.worker_restarts = 0
         self.episodes_requeued = 0
-        self._epochs = [0] * num_workers
+        # one fence per worker slot (the cluster's shard supervision
+        # reuses the same primitive -- see repro.farm.supervision)
+        self._epochs = [EpochFence() for _ in range(num_workers)]
         self._workers: list[mp.process.BaseProcess | None] = [None] * num_workers
         self._evaluator_proc: mp.process.BaseProcess | None = None
 
@@ -318,7 +321,7 @@ class SelfPlayFarm:
         self._task_child_conns[worker_id] = child
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self, worker_id, self._epochs[worker_id]),
+            args=(self, worker_id, self._epochs[worker_id].current),
             name=f"farm-worker-{worker_id}",
             daemon=True,
         )
@@ -340,7 +343,7 @@ class SelfPlayFarm:
             self._task_parent_conns[worker_id].close()
         except OSError:
             pass
-        self._epochs[worker_id] += 1
+        self._epochs[worker_id].bump()
         self.worker_restarts += 1
         self._spawn_worker(worker_id)
 
@@ -456,11 +459,12 @@ class SelfPlayFarm:
         restarts_before = self.worker_restarts
         requeued_before = self.episodes_requeued
 
-        queue: deque[tuple[int, np.random.Generator, int]] = deque(
-            (i, rng, 0) for i, rng in enumerate(episode_rngs)
+        queue: deque[tuple[int, np.random.Generator, RetryBudget]] = deque(
+            (i, rng, RetryBudget(self.max_retries))
+            for i, rng in enumerate(episode_rngs)
         )
         results: dict[int, EpisodeResult] = {}
-        busy: dict[int, tuple[int, np.random.Generator, int]] = {}
+        busy: dict[int, tuple[int, np.random.Generator, RetryBudget]] = {}
         idle = set(range(self.num_workers))
         last_error: str | None = None
 
@@ -517,15 +521,15 @@ class SelfPlayFarm:
                     continue
                 task = busy.pop(w, None)
                 if task is not None:
-                    idx, rng, attempts = task
-                    if attempts >= self.max_retries:
+                    idx, rng, budget = task
+                    if not budget.spend():
                         self._fail_round(
-                            f"episode {idx} failed {attempts + 1} times "
+                            f"episode {idx} failed {budget.attempts} times "
                             f"(retry budget {self.max_retries})",
                             last_error,
                         )
                     # same rng -> the re-run reproduces the same transcript
-                    queue.appendleft((idx, rng, attempts + 1))
+                    queue.appendleft((idx, rng, budget))
                     self.episodes_requeued += 1
                 self._respawn_worker(w)
                 idle.add(w)

@@ -29,6 +29,9 @@ from repro.serving.engine import (
     ServingStats,
 )
 from repro.serving.simulate import (
+    ClusterScenarioResult,
+    ClusterScenarioRunner,
+    FaultEvent,
     InlineExecutor,
     ScenarioResult,
     ScenarioRunner,
@@ -38,6 +41,7 @@ from repro.serving.simulate import (
 )
 from repro.serving.service import (
     GatewayClient,
+    GatewayConnectionError,
     GatewayError,
     GatewayOverloaded,
     GatewayServer,
@@ -51,8 +55,12 @@ from repro.serving.service import (
 
 __all__ = [
     "CachingEvaluator",
+    "ClusterScenarioResult",
+    "ClusterScenarioRunner",
     "EvaluationCache",
+    "FaultEvent",
     "GatewayClient",
+    "GatewayConnectionError",
     "GatewayError",
     "GatewayOverloaded",
     "GatewayServer",

@@ -53,11 +53,18 @@ from repro.mcts.serial import SerialMCTS
 from repro.nn.infer import ensure_plan
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.serving.engine import LatencyTracker
-from repro.utils.clock import WALL_CLOCK, Clock, WallClock
+from repro.utils.clock import (
+    WALL_CLOCK,
+    Clock,
+    ClockTimeout,
+    WallClock,
+    clock_timeout,
+)
 from repro.utils.rng import new_rng
 
 __all__ = [
     "GatewayError",
+    "GatewayConnectionError",
     "SessionNotFound",
     "GatewayOverloaded",
     "InvalidMove",
@@ -91,9 +98,32 @@ class GatewayOverloaded(GatewayError):
 
 
 class InvalidMove(GatewayError):
-    """The client's action is illegal in the session's current state."""
+    """The client's action is illegal in the session's current state.
 
-    code = 400
+    Carries its own wire code (422, unprocessable) so remote callers --
+    the cluster router above all -- can re-raise the *typed* error
+    instead of guessing from a generic 400's message text.
+    """
+
+    code = 422
+
+
+class GatewayConnectionError(GatewayError, ConnectionError):
+    """Transport-level failure talking to a gateway: torn reply line,
+    peer disconnect mid-request, connect/read timeout.
+
+    The defining property is *ambiguity* -- the caller cannot know
+    whether the request was applied before the connection died, so this
+    (unlike the wire-coded :class:`GatewayError` replies) is the one
+    failure a client may retry.  Pair retries with an idempotent request
+    id (``rid`` on the ``move`` op) and a retried move is answered from
+    the gateway's reply cache instead of being applied twice.
+
+    Subclasses ``ConnectionError`` so pre-existing ``except
+    ConnectionError`` call sites keep working.
+    """
+
+    code = 502
 
 
 def build_game(name: str, size: int | None = None) -> Game:
@@ -117,6 +147,7 @@ class SessionStatus(str, enum.Enum):
     FINISHED = "finished"
     RESIGNED = "resigned"
     EXPIRED = "expired"
+    DRAINED = "drained"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -134,6 +165,7 @@ class _Session:
         "created_at",
         "last_active",
         "moves",
+        "history",
         "lock",
     )
 
@@ -144,6 +176,7 @@ class _Session:
         agent: TreeReuseMCTS | None,
         rng: np.random.Generator,
         now: float,
+        history: list[int] | None = None,
     ) -> None:
         self.session_id = session_id
         self.game = game
@@ -152,7 +185,10 @@ class _Session:
         self.status = SessionStatus.ACTIVE
         self.created_at = now
         self.last_active = now
-        self.moves = 0
+        self.moves = len(history) if history else 0
+        # every action applied to the game, client and engine alike --
+        # the replay script a drained session is restored from
+        self.history: list[int] = list(history) if history else []
         self.lock = asyncio.Lock()
 
 
@@ -189,6 +225,14 @@ class GatewayStats:
     latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    # cluster-era fields (defaults keep single-gateway callers unchanged)
+    sessions_drained: int = 0
+    sessions_restored: int = 0
+    deduped_replies: int = 0
+    drain_rejected: int = 0
+    draining: bool = False
+    shard_id: str | None = None
+    weights_version: int | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -197,10 +241,17 @@ class GatewayStats:
             "sessions_finished": self.sessions_finished,
             "sessions_resigned": self.sessions_resigned,
             "sessions_expired": self.sessions_expired,
+            "sessions_drained": self.sessions_drained,
+            "sessions_restored": self.sessions_restored,
             "moves_served": self.moves_served,
             "rejected": self.rejected,
+            "drain_rejected": self.drain_rejected,
             "deadline_misses": self.deadline_misses,
+            "deduped_replies": self.deduped_replies,
             "inflight": self.inflight,
+            "draining": self.draining,
+            "shard_id": self.shard_id,
+            "weights_version": self.weights_version,
             "latency_p50_ms": round(self.latency_p50_ms, 3),
             "latency_p95_ms": round(self.latency_p95_ms, 3),
             "latency_p99_ms": round(self.latency_p99_ms, 3),
@@ -289,6 +340,12 @@ class MatchGateway:
         :class:`~concurrent.futures.ThreadPoolExecutor`.  Injected
         executors are *borrowed*: :meth:`aclose` does not shut them
         down.
+    shard_id : cluster-assigned label stamped into stats / ``version``
+        replies so fleet telemetry can attribute numbers to shards
+        (``None`` for a standalone gateway).
+    reply_cache_size : completed rid-tagged move replies retained for
+        retry dedupe (see the ``request_id`` parameter of
+        :meth:`play_move`).
     """
 
     def __init__(
@@ -311,6 +368,8 @@ class MatchGateway:
         seed: int | np.random.Generator | None = 0,
         clock: Clock | None = None,
         executor: Executor | None = None,
+        shard_id: str | None = None,
+        reply_cache_size: int = 1024,
     ) -> None:
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -349,20 +408,37 @@ class MatchGateway:
         self.rng = new_rng(seed)
         self.clock: Clock = WALL_CLOCK if clock is None else clock
         self.latency = LatencyTracker(clock=self.clock)
+        self.shard_id = shard_id
+        if reply_cache_size < 1:
+            raise ValueError("reply_cache_size must be >= 1")
 
         self._sessions: dict[int, _Session] = {}
         self._next_session_id = 1  # monotonic, never reused
         self._inflight = 0
         self._closed = False
+        self._draining = False
         self._gc_task: asyncio.Task | None = None
+
+        # idempotent-move bookkeeping: completed replies keyed by
+        # (session, rid) in insertion order (a bounded FIFO cache), plus
+        # the futures of rid-tagged moves still executing, so a retry
+        # racing its original awaits the one in flight instead of
+        # re-applying the move
+        self._reply_cache: dict[tuple[int, str], MoveReply] = {}
+        self._reply_cache_size = reply_cache_size
+        self._inflight_rids: dict[tuple[int, str], asyncio.Future] = {}
 
         # lifetime counters behind GatewayStats
         self._created = 0
         self._finished = 0
         self._resigned = 0
         self._expired = 0
+        self._drained = 0
+        self._restored = 0
         self._moves_served = 0
         self._rejected = 0
+        self._drain_rejected = 0
+        self._deduped = 0
         self._deadline_misses = 0
 
         self._executor: Executor
@@ -442,6 +518,90 @@ class MatchGateway:
             self._expired += 1
         return [s.session_id for s in stale]
 
+    # -- draining (cluster control plane) -------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new or restored sessions (idempotent).  Moves on
+        existing sessions keep serving -- this is the *drain-light* state a
+        weight rollout holds a shard in during its recompile window."""
+        self._draining = True
+
+    def resume_admission(self) -> None:
+        self._draining = False
+
+    async def export_sessions(self) -> list[dict]:
+        """Full drain: close every active session and hand back its replay
+        script (``{"session", "moves", "actions"}`` rows).
+
+        Each session's lock is taken first, so an in-flight move completes
+        (and lands in the history) before the session is exported -- the
+        "in-flight moves finish, then the session relocates" half of the
+        cluster's drain contract.  Exported sessions read as
+        :attr:`SessionStatus.DRAINED` and count into ``sessions_drained``.
+        """
+        exported: list[dict] = []
+        for session in list(self._sessions.values()):
+            async with session.lock:
+                if session.status is not SessionStatus.ACTIVE:
+                    continue
+                session.status = SessionStatus.DRAINED
+                self._sessions.pop(session.session_id, None)
+                self._drained += 1
+                exported.append(
+                    {
+                        "session": session.session_id,
+                        "moves": session.moves,
+                        "actions": list(session.history),
+                    }
+                )
+        return exported
+
+    def load_weights(self, encoded_state: dict) -> int:
+        """Install a new checkpoint (``load_weights`` control RPC).
+
+        Decodes the :mod:`repro.utils.wire` payload and feeds it through
+        ``load_state_dict``, which bumps ``weights_version`` -- the PR-4
+        seam: the next fused evaluation lazily recompiles its plan from
+        the new weights, atomically per process.  Returns the new
+        version.  Raises a 400-coded error for evaluators without
+        network weights (uniform) or malformed payloads.
+        """
+        network = getattr(self.evaluator, "network", None)
+        if network is None:
+            raise GatewayError(
+                "this gateway's evaluator carries no network weights"
+            )
+        from repro.utils.wire import decode_state
+
+        try:
+            state = decode_state(encoded_state)
+            network.load_state_dict(state)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise GatewayError(f"bad weights payload: {exc}") from exc
+        return int(network.weights_version)
+
+    @property
+    def weights_version(self) -> int | None:
+        """The evaluator network's current weight version (``None`` for
+        weightless evaluators)."""
+        network = getattr(self.evaluator, "network", None)
+        if network is None:
+            return None
+        return int(getattr(network, "weights_version", 0))
+
+    @property
+    def plan_version(self) -> int | None:
+        """Weight version of the currently *compiled* fused plan -- lags
+        :attr:`weights_version` inside the lazy-recompile window."""
+        network = getattr(self.evaluator, "network", None)
+        plan = getattr(network, "_plan", None)
+        if plan is None:
+            return None
+        return int(plan.weights_version)
+
     # -- session management ---------------------------------------------------
     @property
     def session_count(self) -> int:
@@ -451,14 +611,58 @@ class MatchGateway:
         self, game: str | Game = "tictactoe", size: int | None = None
     ) -> int:
         """Open a match and return its (monotonic) session id."""
+        self._check_admission()
+        state = game.copy() if isinstance(game, Game) else build_game(game, size)
+        return self._admit(state, history=None)
+
+    async def restore_session(
+        self,
+        game: str | Game = "tictactoe",
+        size: int | None = None,
+        actions: list[int] | None = None,
+    ) -> tuple[int, bool, int | None]:
+        """Re-admit a session drained (or lost) elsewhere in the cluster.
+
+        *actions* is the full move history of the original session; the
+        game is replayed to the same position and a fresh session (new
+        id, fresh search tree -- search statistics do not survive
+        relocation, only game state) is admitted.  Returns ``(session_id,
+        done, winner)``; when the replayed game is already terminal, no
+        session is admitted and ``session_id`` is 0.
+        """
+        self._check_admission()
+        state = game.copy() if isinstance(game, Game) else build_game(game, size)
+        history = [int(a) for a in (actions or [])]
+        for ply, action in enumerate(history):
+            if state.is_terminal or not (
+                0 <= action < state.action_size
+                and bool(state.legal_mask()[action])
+            ):
+                raise GatewayError(
+                    f"restore history is not a legal line: "
+                    f"action {action} at ply {ply}"
+                )
+            state.step(action)
+        if state.is_terminal:
+            return 0, True, int(state.winner)
+        session_id = self._admit(state, history=history)
+        self._restored += 1
+        return session_id, False, None
+
+    def _check_admission(self) -> None:
         if self._closed:
             raise GatewayError("gateway is closed")
+        if self._draining:
+            self._drain_rejected += 1
+            self._rejected += 1
+            raise GatewayOverloaded("gateway is draining (shard rollout)")
         if len(self._sessions) >= self.max_sessions:
             self._rejected += 1
             raise GatewayOverloaded(
                 f"session table full ({self.max_sessions} active)"
             )
-        state = game.copy() if isinstance(game, Game) else build_game(game, size)
+
+    def _admit(self, state: Game, history: list[int] | None) -> int:
         template = self.game_template
         if template is not None and (
             type(state) is not type(template)
@@ -482,7 +686,12 @@ class MatchGateway:
         session_id = self._next_session_id
         self._next_session_id += 1
         self._sessions[session_id] = _Session(
-            session_id, state, agent, self.rng.spawn(1)[0], self.clock.monotonic()
+            session_id,
+            state,
+            agent,
+            self.rng.spawn(1)[0],
+            self.clock.monotonic(),
+            history=history,
         )
         self._created += 1
         return session_id
@@ -512,6 +721,7 @@ class MatchGateway:
         session_id: int,
         action: int | None = None,
         deadline_ms: float | None = None,
+        request_id: str | None = None,
     ) -> MoveReply:
         """Serve one move under a wall-clock deadline.
 
@@ -523,11 +733,56 @@ class MatchGateway:
         ``SearchBudget(num_playouts, remaining deadline)`` and plays the
         visit-count argmax.
 
+        *request_id* makes the move idempotent: a repeat of a completed
+        ``(session, request_id)`` returns the cached reply, and a repeat
+        racing the original awaits the original's result -- so a client
+        retrying after a :class:`GatewayConnectionError` (reply lost in
+        transit) can never double-apply a move.  Retries short-circuit
+        *before* admission control: answering from cache is not new
+        load.
+
         Latency stamps, ``last_active`` and the idle-GC sweep all read
         the *same* injected clock's ``monotonic()``: a session's
         activity and the sweep judging it can never disagree about what
         time it is (the historic ``perf_counter``-vs-``monotonic`` mix).
         """
+        if request_id is None:
+            return await self._play_move_once(session_id, action, deadline_ms)
+        key = (session_id, str(request_id))
+        cached = self._reply_cache.get(key)
+        if cached is not None:
+            self._deduped += 1
+            return cached
+        pending = self._inflight_rids.get(key)
+        if pending is not None:
+            self._deduped += 1
+            # shield: cancelling this duplicate must not cancel the
+            # original computation other callers may be awaiting
+            return await asyncio.shield(pending)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight_rids[key] = future
+        try:
+            reply = await self._play_move_once(session_id, action, deadline_ms)
+        except BaseException as exc:
+            self._inflight_rids.pop(key, None)
+            future.set_exception(exc)
+            # failures are NOT cached: a retry re-executes.  Touch the
+            # exception so a duplicate-free future never warns.
+            future.exception()
+            raise
+        self._inflight_rids.pop(key, None)
+        future.set_result(reply)
+        self._reply_cache[key] = reply
+        while len(self._reply_cache) > self._reply_cache_size:
+            self._reply_cache.pop(next(iter(self._reply_cache)))
+        return reply
+
+    async def _play_move_once(
+        self,
+        session_id: int,
+        action: int | None,
+        deadline_ms: float | None,
+    ) -> MoveReply:
         t0 = self.clock.monotonic()
         deadline = self.deadline_ms if deadline_ms is None else float(deadline_ms)
         if deadline <= 0:
@@ -592,6 +847,7 @@ class MatchGateway:
                 raise InvalidMove(f"illegal action {action}")
             game.step(int(action))
             session.moves += 1
+            session.history.append(int(action))
             if session.agent is not None:
                 session.agent.observe(int(action))
             if game.is_terminal:
@@ -631,6 +887,7 @@ class MatchGateway:
         engine_action = int(np.argmax(prior))
         game.step(engine_action)
         session.moves += 1
+        session.history.append(engine_action)
         if session.agent is not None:
             session.agent.observe(engine_action)
         if game.is_terminal:
@@ -659,6 +916,13 @@ class MatchGateway:
             latency_p95_ms=self.latency.percentile(95) * 1e3,
             latency_p99_ms=self.latency.percentile(99) * 1e3,
             latency_mean_ms=self.latency.mean * 1e3,
+            sessions_drained=self._drained,
+            sessions_restored=self._restored,
+            deduped_replies=self._deduped,
+            drain_rejected=self._drain_rejected,
+            draining=self._draining,
+            shard_id=self.shard_id,
+            weights_version=self.weights_version,
         )
 
 
@@ -747,17 +1011,58 @@ class GatewayServer:
             request = json.loads(line)
             op = request.get("op")
             if op == "ping":
-                return {"ok": True, "op": "ping"}
+                return {
+                    "ok": True,
+                    "op": "ping",
+                    "shard_id": self.gateway.shard_id,
+                    "draining": self.gateway.draining,
+                }
             if op == "new":
                 session_id = await self.gateway.create_session(
                     request.get("game", "tictactoe"), request.get("size")
                 )
                 return {"ok": True, "session": session_id}
+            if op == "restore":
+                session_id, done, winner = await self.gateway.restore_session(
+                    request.get("game", "tictactoe"),
+                    request.get("size"),
+                    request.get("actions"),
+                )
+                return {
+                    "ok": True,
+                    "session": session_id,
+                    "done": done,
+                    "winner": winner,
+                }
+            if op == "drain":
+                self.gateway.begin_drain()
+                drained = await self.gateway.export_sessions()
+                return {"ok": True, "drained": drained}
+            if op == "drain_light":
+                self.gateway.begin_drain()
+                return {"ok": True, "draining": True}
+            if op == "resume":
+                self.gateway.resume_admission()
+                return {"ok": True, "draining": False}
+            if op == "version":
+                return {
+                    "ok": True,
+                    "shard_id": self.gateway.shard_id,
+                    "weights_version": self.gateway.weights_version,
+                    "plan_version": self.gateway.plan_version,
+                    "draining": self.gateway.draining,
+                    "sessions": self.gateway.session_count,
+                }
+            if op == "load_weights":
+                version = self.gateway.load_weights(request["state"])
+                return {"ok": True, "weights_version": version}
             if op == "move":
+                rid = request.get("rid")
                 reply = await self.gateway.play_move(
                     int(request["session"]),
                     request.get("action"),
                     request.get("deadline_ms"),
+                    request_id=None if rid is None else str(rid),
                 )
                 return {
                     "ok": True,
@@ -797,32 +1102,102 @@ class GatewayServer:
 
 
 class GatewayClient:
-    """Asyncio client for :class:`GatewayServer` (examples, load harness).
+    """Asyncio client for :class:`GatewayServer` (examples, load harness,
+    the cluster router's shard links).
 
     One client = one connection = one request in flight at a time; drive
     concurrent load with one client per simulated player.
+
+    Every transport failure surfaces as the *typed*
+    :class:`GatewayConnectionError` -- a peer that dies mid-reply used to
+    leak a bare ``json.JSONDecodeError`` (torn line) or
+    ``ConnectionResetError`` to the caller; now the retry path has one
+    exception to catch.  *timeout_s* bounds each request's read (and the
+    connect), measured on *clock* so virtual-time harnesses can exercise
+    timeout paths deterministically.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout_s: float | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self.timeout_s = timeout_s
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "GatewayClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float | None = None,
+        clock: Clock | None = None,
+    ) -> "GatewayClient":
+        clk: Clock = WALL_CLOCK if clock is None else clock
+        try:
+            opening = asyncio.open_connection(host, port)
+            if timeout_s is not None:
+                reader, writer = await clock_timeout(clk, opening, timeout_s)
+            else:
+                reader, writer = await opening
+        except ClockTimeout as exc:
+            raise GatewayConnectionError(
+                f"connect to {host}:{port} timed out after {timeout_s:g}s"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            raise GatewayConnectionError(
+                f"connect to {host}:{port} failed: {exc}"
+            ) from exc
+        return cls(reader, writer, timeout_s=timeout_s, clock=clk)
 
-    async def request(self, payload: dict) -> dict:
+    async def request(
+        self, payload: dict, *, timeout_s: float | None = None
+    ) -> dict:
         """Raw round trip; returns the reply dict (``ok`` may be false --
-        load harnesses count rejections from it)."""
-        self._writer.write(json.dumps(payload).encode() + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+        load harnesses count rejections from it).  Transport failures
+        (disconnect, torn reply line, read timeout) raise
+        :class:`GatewayConnectionError`."""
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        try:
+            self._writer.write(json.dumps(payload).encode() + b"\n")
+            await self._writer.drain()
+            reading = self._reader.readline()
+            if timeout is not None:
+                line = await clock_timeout(self.clock, reading, timeout)
+            else:
+                line = await reading
+        except ClockTimeout as exc:
+            raise GatewayConnectionError(
+                f"no reply within {timeout:g}s"
+            ) from exc
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ) as exc:
+            raise GatewayConnectionError(
+                f"connection failed mid-request: {exc!r}"
+            ) from exc
         if not line:
-            raise ConnectionError("gateway closed the connection")
-        return json.loads(line)
+            raise GatewayConnectionError("gateway closed the connection")
+        if not line.endswith(b"\n"):
+            # EOF mid-line: the peer died while writing this reply
+            raise GatewayConnectionError(
+                f"torn reply line ({len(line)} bytes, no terminator)"
+            )
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise GatewayConnectionError(
+                f"corrupt reply line: {exc}"
+            ) from exc
 
     def _checked(self, reply: dict) -> dict:
         if not reply.get("ok"):
@@ -846,17 +1221,20 @@ class GatewayClient:
         session: int,
         action: int | None = None,
         deadline_ms: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
-        return self._checked(
-            await self.request(
-                {
-                    "op": "move",
-                    "session": session,
-                    "action": action,
-                    "deadline_ms": deadline_ms,
-                }
-            )
-        )
+        payload = {
+            "op": "move",
+            "session": session,
+            "action": action,
+            "deadline_ms": deadline_ms,
+        }
+        if request_id is not None:
+            payload["rid"] = request_id
+        return self._checked(await self.request(payload))
+
+    async def ping(self) -> dict:
+        return self._checked(await self.request({"op": "ping"}))
 
     async def resign(self, session: int) -> dict:
         return self._checked(await self.request({"op": "resign", "session": session}))

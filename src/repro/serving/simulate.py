@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.mcts.evaluation import Evaluator, UniformEvaluator
 from repro.serving.service import (
+    GatewayConnectionError,
     GatewayOverloaded,
     GatewayStats,
     MatchGateway,
@@ -53,9 +54,12 @@ __all__ = [
     "SimulatedSearchExecutor",
     "MoveScript",
     "ClientScript",
+    "FaultEvent",
     "ScenarioSpec",
     "ScenarioResult",
     "ScenarioRunner",
+    "ClusterScenarioResult",
+    "ClusterScenarioRunner",
     "generate_script",
 ]
 
@@ -156,12 +160,41 @@ class ClientScript:
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault, fired at a virtual timestamp.
+
+    Kinds:
+
+    - ``"kill"`` -- hard-kill shard *shard* at ``at_s`` (power loss: its
+      sessions become unreachable and must be re-admitted from shadow
+      history);
+    - ``"drain"`` -- gracefully drain shard *shard* (planned
+      maintenance: in-flight moves finish, sessions relocate with the
+      shard's authoritative export) and resume it afterwards;
+    - ``"pause_swap"`` -- hold shard *shard* in its weight-swap
+      drain-light window for ``duration_s`` virtual seconds (admissions
+      bounce to the rest of the fleet, resident sessions keep playing),
+      then resume -- the rollout's pause, scripted in isolation.
+    """
+
+    at_s: float
+    kind: str  # "kill" | "drain" | "pause_swap"
+    shard: int
+    duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """Everything a scenario is, in numbers.  Same spec, same run.
 
     ``deadline_ms`` / ``think_time_s`` / ``service_time_ms`` /
     ``moves_per_session`` are inclusive uniform ranges sampled per
     client (deadline), per move (think/service) from ``seed``.
+
+    ``shards`` and ``faults`` only matter to
+    :class:`ClusterScenarioRunner`; the single-gateway
+    :class:`ScenarioRunner` ignores them (defaults keep old specs
+    bit-identical).
     """
 
     seed: int = 0
@@ -183,6 +216,8 @@ class ScenarioSpec:
     idle_timeout_s: float = 300.0
     gc_interval_s: float = 60.0
     deadline_tolerance_ms: float = 0.0
+    shards: int = 1
+    faults: tuple[FaultEvent, ...] = ()
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -445,6 +480,244 @@ class ScenarioRunner:
                 return
         try:
             await gateway.resign(session)
+            events.append((clock.now, script.client_id, "resigned"))
+        except SessionNotFound:
+            events.append((clock.now, script.client_id, "expired"))
+
+
+# -- cluster scenarios --------------------------------------------------------
+@dataclass
+class ClusterScenarioResult:
+    """One cluster scenario run: client transcript + router transcript.
+
+    Two identically-seeded runs must satisfy ``a.events == b.events and
+    a.cluster_events == b.cluster_events`` -- the chaos suite's
+    bit-identical-timeline gate.  ``stats`` is the router's
+    :class:`~repro.cluster.stats.ClusterStats` (call
+    ``stats.check_accounting()`` for the disposition invariant).
+    """
+
+    spec: ScenarioSpec
+    events: list[Event]
+    cluster_events: list[tuple]
+    stats: object  # ClusterStats (typed loosely: repro.cluster imports us)
+    sim_seconds: float
+    wall_seconds: float
+    searches: int
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e[2] == kind]
+
+    def summary(self) -> dict:
+        s = self.stats
+        return {
+            "shards": self.spec.shards,
+            "faults": len(self.spec.faults),
+            "admitted": s.sessions_admitted,
+            "completed": s.sessions_completed,
+            "resigned": s.sessions_resigned,
+            "lost": s.sessions_lost,
+            "rejected": s.sessions_rejected,
+            "drained": s.sessions_drained,
+            "readmitted": s.sessions_readmitted,
+            "moves_served": s.moves_served,
+            "move_retries": s.move_retries,
+            "shard_restarts": s.shard_restarts,
+            "latency_p99_virtual_ms": round(s.latency_p99_ms, 3),
+            "sim_seconds": round(self.sim_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise AssertionError(
+                f"{message}\n--- cluster replay spec ---\n"
+                + json.dumps(
+                    {
+                        "replay": "ClusterScenarioRunner("
+                        "ScenarioSpec(**spec)).run()",
+                        "spec": self.spec.as_dict(),
+                        "summary": self.summary(),
+                        "cluster_events_tail": self.cluster_events[-30:],
+                    },
+                    indent=2,
+                )
+            )
+
+
+class ClusterScenarioRunner:
+    """Drive scripted load *and* scripted faults against a shard fleet.
+
+    Same construction as :class:`ScenarioRunner` -- the spec is the
+    whole run -- but the gateway is a
+    :class:`~repro.cluster.router.ShardRouter` over ``spec.shards``
+    in-process :class:`~repro.cluster.shard.LocalShard`\\ s, and a fault
+    task performs ``spec.faults`` at their virtual timestamps while the
+    clients play.  Clients are relocation-oblivious: they hold one
+    cluster session id for the whole game and the router hides every
+    shard death behind it.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        health_interval_s: float = 1.0,
+        failure_threshold: int = 2,
+        restart_limit: int = 2,
+        respawn: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.script: Sequence[ClientScript] = generate_script(spec)
+        self.health_interval_s = health_interval_s
+        self.failure_threshold = failure_threshold
+        self.restart_limit = restart_limit
+        self.respawn = respawn
+
+    def run(self) -> ClusterScenarioResult:
+        from repro.cluster import BackoffPolicy, ShardRouter, ShardSpec
+
+        spec = self.spec
+        clock = VirtualClock()
+        executor = SimulatedSearchExecutor(clock)
+        base = ShardSpec(
+            shard_id=0,
+            game=spec.game,
+            seed=spec.seed,
+            deadline_ms=max(spec.deadline_ms),
+            num_playouts=spec.playouts,
+            workers=spec.workers,
+            max_inflight=spec.max_inflight,
+            max_sessions=spec.max_sessions,
+            idle_timeout_s=spec.idle_timeout_s,
+            gc_interval_s=spec.gc_interval_s,
+        )
+        router = ShardRouter.local(
+            spec.shards,
+            base,
+            clock=clock,
+            executor=executor,
+            seed=spec.seed,
+            backoff=BackoffPolicy(base_s=0.05, max_s=1.0, max_retries=3),
+            health_interval_s=self.health_interval_s,
+            failure_threshold=self.failure_threshold,
+            restart_limit=self.restart_limit,
+            respawn=self.respawn,
+        )
+        events: list[Event] = []
+        wall0 = time.perf_counter()
+        stats = clock.run(self._main(router, executor, clock, events))
+        return ClusterScenarioResult(
+            spec=spec,
+            events=events,
+            cluster_events=list(router.events),
+            stats=stats,
+            sim_seconds=clock.now,
+            wall_seconds=time.perf_counter() - wall0,
+            searches=executor.searches,
+        )
+
+    async def _main(self, router, executor, clock, events):
+        await router.start()
+        try:
+            await asyncio.gather(
+                self._faults(router, clock, events),
+                *[
+                    self._client(router, executor, clock, script, events)
+                    for script in self.script
+                ],
+            )
+            await router.refresh_shard_stats()
+            return router.stats()
+        finally:
+            await router.aclose()
+
+    async def _faults(self, router, clock, events) -> None:
+        for fault in sorted(self.spec.faults, key=lambda f: (f.at_s, f.shard)):
+            if fault.at_s > clock.now:
+                await clock.sleep(fault.at_s - clock.now)
+            events.append((clock.now, -1, f"fault_{fault.kind}", fault.shard))
+            if fault.kind == "kill":
+                router.kill_shard(fault.shard)
+            elif fault.kind == "drain":
+                await router.drain_shard(fault.shard, resume=True)
+            elif fault.kind == "pause_swap":
+                slot = router._slots[fault.shard]
+                if not slot.usable:
+                    continue
+                slot.draining = True
+                await router._rpc(
+                    slot,
+                    {"op": "drain_light"},
+                    key=(fault.shard, "fault-pause", fault.at_s),
+                )
+                await clock.sleep(max(0.0, fault.duration_s))
+                await router.resume_shard(fault.shard)
+            else:
+                raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    async def _client(self, router, executor, clock, script, events) -> None:
+        spec = self.spec
+        await clock.sleep(script.arrival_s)
+        try:
+            session = await router.create_session(spec.game)
+        except (GatewayOverloaded, GatewayConnectionError):
+            events.append((clock.now, script.client_id, "admit_reject"))
+            return
+        events.append((clock.now, script.client_id, "admit", session))
+        for move_idx, move in enumerate(script.moves):
+            await clock.sleep(move.think_s)
+            retries = 0
+            while True:
+                executor.expect(move.duration_ms / 1e3)
+                try:
+                    reply = await router.play_move(
+                        session, deadline_ms=script.deadline_ms
+                    )
+                except GatewayOverloaded:
+                    executor.clear()
+                    events.append(
+                        (clock.now, script.client_id, "move_reject", move_idx)
+                    )
+                    retries += 1
+                    if retries > spec.max_retries_per_move:
+                        events.append(
+                            (clock.now, script.client_id, "starved", move_idx)
+                        )
+                        return
+                    await clock.sleep(spec.retry_backoff_s)
+                    continue
+                except GatewayConnectionError:
+                    # the router exhausted every shard for this move; the
+                    # session is gone (already accounted as lost)
+                    executor.clear()
+                    events.append(
+                        (clock.now, script.client_id, "lost", move_idx)
+                    )
+                    return
+                except SessionNotFound:
+                    executor.clear()
+                    events.append((clock.now, script.client_id, "expired"))
+                    return
+                break
+            events.append(
+                (
+                    clock.now,
+                    script.client_id,
+                    "move",
+                    session,
+                    reply["move_number"],
+                    round(reply["latency_ms"], 6),
+                    retries,
+                )
+            )
+            if reply["done"]:
+                events.append(
+                    (clock.now, script.client_id, "done", reply["status"])
+                )
+                return
+        try:
+            await router.resign(session)
             events.append((clock.now, script.client_id, "resigned"))
         except SessionNotFound:
             events.append((clock.now, script.client_id, "expired"))

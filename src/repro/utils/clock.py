@@ -34,7 +34,14 @@ import time
 from contextlib import asynccontextmanager
 from typing import Awaitable, Protocol, TypeVar, runtime_checkable
 
-__all__ = ["Clock", "WallClock", "VirtualClock", "WALL_CLOCK"]
+__all__ = [
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+    "WALL_CLOCK",
+    "ClockTimeout",
+    "clock_timeout",
+]
 
 T = TypeVar("T")
 
@@ -58,6 +65,44 @@ class Clock(Protocol):
 
     async def sleep(self, seconds: float) -> None:  # pragma: no cover
         ...
+
+
+class ClockTimeout(TimeoutError):
+    """:func:`clock_timeout` expired before the awaited work finished."""
+
+
+async def clock_timeout(clock: Clock, aw: Awaitable[T], timeout_s: float) -> T:
+    """``asyncio.wait_for`` against an *injected* clock.
+
+    The stdlib's ``wait_for`` arms its deadline with ``loop.call_later``
+    -- real time, invisible to a :class:`VirtualClock` and therefore
+    useless in simulated failure timelines.  This helper races the
+    awaitable against ``clock.sleep(timeout_s)`` instead, so cluster
+    health checks and RPC read deadlines time out on whichever clock the
+    stack runs on: wall in production, virtual in the chaos suite.
+
+    On timeout the work task is cancelled (and awaited) before
+    :class:`ClockTimeout` is raised, so no orphan task keeps mutating
+    state after its caller has moved on.
+    """
+    work = asyncio.ensure_future(aw)
+    timer = asyncio.ensure_future(clock.sleep(timeout_s))
+    try:
+        await asyncio.wait({work, timer}, return_when=asyncio.FIRST_COMPLETED)
+    except asyncio.CancelledError:
+        work.cancel()
+        timer.cancel()
+        await asyncio.gather(work, timer, return_exceptions=True)
+        raise
+    if work.done():
+        timer.cancel()
+        # a VirtualClock sleep future parked on the heap is simply
+        # skipped once cancelled; a real asyncio.sleep task unwinds
+        await asyncio.gather(timer, return_exceptions=True)
+        return work.result()
+    work.cancel()
+    await asyncio.gather(work, return_exceptions=True)
+    raise ClockTimeout(f"no result within {timeout_s:g}s")
 
 
 class WallClock:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rngs", "seed_ladder", "RngMixin"]
+__all__ = ["new_rng", "spawn_rngs", "seed_ladder", "keyed_rng", "RngMixin"]
 
 
 def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -48,6 +48,23 @@ def seed_ladder(seed: int | None, n: int) -> list[np.random.Generator]:
     identical ladder.
     """
     return spawn_rngs(new_rng(seed), n)
+
+
+def keyed_rng(seed: int | None, *key: int) -> np.random.Generator:
+    """A generator addressed by ``(seed, *key)`` instead of ladder position.
+
+    :func:`seed_ladder` hands episode *i* the *i*-th rung of one root
+    ``SeedSequence`` -- perfect when the consumer count is known up
+    front.  Retrying RPC paths are not like that: requests are unbounded
+    and interleave nondeterministically under wall clocks, so the
+    cluster router keys each request's backoff-jitter stream directly by
+    its request index.  Same ``(seed, *key)``, same stream, regardless
+    of what any other request did in between -- the ladder's determinism
+    contract without materialising a ladder.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([0 if seed is None else seed, *key])
+    )
 
 
 class RngMixin:

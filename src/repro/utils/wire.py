@@ -1,0 +1,52 @@
+"""JSON-safe encoding of numpy state dicts for control-plane RPCs.
+
+The cluster's zero-downtime weight rollout ships full network state
+dicts over the gateway's newline-JSON wire (``load_weights`` op).  JSON
+has no binary type, so arrays travel as base64 of their C-contiguous
+bytes plus dtype/shape -- exact round trip, no float formatting loss,
+and the decoded arrays are fresh writable copies (``load_state_dict``
+copies again anyway, but nothing downstream may alias the transport
+buffer).
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+__all__ = ["encode_state", "decode_state"]
+
+
+def encode_state(state: dict[str, np.ndarray]) -> dict[str, dict]:
+    """Encode a ``state_dict`` into a JSON-serialisable mapping."""
+    encoded = {}
+    for name, array in state.items():
+        arr = np.ascontiguousarray(array)
+        encoded[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+        }
+    return encoded
+
+
+def decode_state(encoded: dict[str, dict]) -> dict[str, np.ndarray]:
+    """Invert :func:`encode_state`; raises ``ValueError`` on malformed
+    entries (the serving boundary turns that into a 400 reply)."""
+    state = {}
+    for name, entry in encoded.items():
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(d) for d in entry["shape"])
+            raw = base64.b64decode(entry["data"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed weight entry {name!r}: {exc}") from exc
+        array = np.frombuffer(raw, dtype=dtype)
+        if array.size != int(np.prod(shape, dtype=np.int64)):
+            raise ValueError(
+                f"weight {name!r}: payload holds {array.size} elements, "
+                f"shape {shape} wants {int(np.prod(shape, dtype=np.int64))}"
+            )
+        state[name] = array.reshape(shape).copy()
+    return state

@@ -1,0 +1,62 @@
+"""Consistent-hash placement: stability, minimal movement, coverage."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+def test_lookup_is_stable():
+    ring = HashRing([0, 1, 2])
+    eligible = {0, 1, 2}
+    for key in range(200):
+        assert ring.lookup(key, eligible) == ring.lookup(key, eligible)
+
+
+def test_all_shards_receive_keys():
+    ring = HashRing([0, 1, 2, 3])
+    eligible = {0, 1, 2, 3}
+    owners = {ring.lookup(key, eligible) for key in range(500)}
+    assert owners == eligible
+
+
+def test_losing_a_shard_moves_only_its_keys():
+    ring = HashRing([0, 1, 2])
+    full = {0, 1, 2}
+    before = {key: ring.lookup(key, full) for key in range(500)}
+    after = {key: ring.lookup(key, full - {1}) for key in range(500)}
+    for key in range(500):
+        if before[key] != 1:
+            # survivors keep every key they already owned
+            assert after[key] == before[key]
+        else:
+            assert after[key] in (0, 2)
+
+
+def test_returning_shard_reclaims_its_arcs():
+    ring = HashRing([0, 1, 2])
+    full = {0, 1, 2}
+    before = {key: ring.lookup(key, full) for key in range(300)}
+    # placement is a pure function of (key, eligible): after an outage
+    # the restored fleet routes exactly as it did before
+    assert {key: ring.lookup(key, full) for key in range(300)} == before
+
+
+def test_preference_order_unique_and_complete():
+    ring = HashRing([0, 1, 2, 3])
+    order = list(ring.preference("session-42", {0, 1, 2, 3}))
+    assert sorted(order) == [0, 1, 2, 3]
+    assert order[0] == ring.lookup("session-42", {0, 1, 2, 3})
+
+
+def test_empty_eligible_set():
+    ring = HashRing([0, 1])
+    assert list(ring.preference(7, set())) == []
+    with pytest.raises(LookupError):
+        ring.lookup(7, set())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing([0], vnodes=0)

@@ -1,0 +1,81 @@
+"""Process-shard cluster smoke: real forks, real TCP, real SIGTERM."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ShardRouter, ShardSpec
+from repro.serving.service import GatewayConnectionError
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+def test_two_process_shards_survive_sigterm():
+    async def main():
+        spec = ShardSpec(
+            shard_id=0,
+            num_playouts=8,
+            deadline_ms=100.0,
+            workers=1,
+            rpc_timeout_s=10.0,
+        )
+        router = ShardRouter.processes(
+            2,
+            spec,
+            health_interval_s=0.1,
+            health_timeout_s=2.0,
+            failure_threshold=2,
+            restart_limit=1,
+        )
+        await router.start()
+        try:
+            sids = [await router.create_session() for _ in range(4)]
+            for sid in sids:
+                await router.play_move(sid)
+            victim = max(router._slots, key=lambda s: len(s.sessions))
+            victim.link.terminate()
+            # keep playing straight through the death; the router hides it
+            finished = 0
+            for sid in sids:
+                while router._records[sid].status == "active":
+                    reply = await router.play_move(sid)
+                    if reply["done"]:
+                        finished += 1
+                        break
+            stats = router.stats()
+            stats.check_accounting()
+            assert finished == 4
+            assert stats.sessions_lost == 0
+            assert stats.sessions_readmitted >= 1
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_process_shard_rpc_round_trip_and_isolation():
+    async def main():
+        router = ShardRouter.processes(
+            2,
+            ShardSpec(shard_id=0, num_playouts=4, workers=1),
+            health_interval_s=60.0,
+        )
+        await router.start()
+        try:
+            # each shard is its own process with its own session table
+            pids = set()
+            for slot in router._slots:
+                reply = await slot.link.request({"op": "ping"})
+                assert reply["ok"] and reply["shard_id"] == f"shard-{slot.index}"
+                pids.add(slot.link.pid)
+            assert len(pids) == 2
+            sid = await router.create_session()
+            reply = await router.play_move(sid)
+            assert reply["ok"] and reply["move_number"] == 1
+        finally:
+            await router.aclose()
+        # after aclose both processes are gone: requests fail typed
+        with pytest.raises(GatewayConnectionError):
+            await router._slots[0].link.request({"op": "ping"})
+
+    asyncio.run(main())

@@ -1,0 +1,142 @@
+"""Zero-downtime weight rollout: versions land, nobody gets bounced."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ShardRouter, ShardSpec, roll_weights
+from repro.games import build_network_for
+from repro.serving import InlineExecutor
+from repro.serving.service import GatewayError, build_game
+
+pytestmark = pytest.mark.chaos
+
+
+def network_router(num_shards=3):
+    spec = ShardSpec(
+        shard_id=0,
+        evaluator="network",
+        num_playouts=2,
+        deadline_ms=50.0,
+        gc_interval_s=60.0,
+    )
+    return ShardRouter.local(
+        num_shards,
+        spec,
+        executor=InlineExecutor(),
+        health_interval_s=60.0,
+    )
+
+
+def fresh_weights(seed=1234):
+    net = build_network_for(
+        build_game("tictactoe", None), channels=(8, 16, 16), rng=seed
+    )
+    return net.state_dict()
+
+
+def test_full_fleet_rollout_zero_rejections_under_load():
+    async def main():
+        router = network_router(3)
+        await router.start()
+        try:
+            sids = [await router.create_session() for _ in range(6)]
+            for sid in sids:
+                await router.play_move(sid)
+
+            async def churn():
+                served = 0
+                for _ in range(20):
+                    sid = await router.create_session()
+                    reply = await router.play_move(sid)
+                    served += 1
+                    if not reply["done"]:
+                        await router.resign(sid)
+                    await asyncio.sleep(0)
+                return served
+
+            report, served = await asyncio.gather(
+                roll_weights(router, fresh_weights()), churn()
+            )
+            assert served == 20  # admissions never paused fleet-wide
+            assert report.consistent, report.as_dict()
+            assert report.rejections == 0
+            assert report.target_version is not None
+            for step in report.steps:
+                assert step.new_version == report.target_version
+                assert step.new_version != step.old_version
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.rollout_rejections == 0
+            assert stats.sessions_rejected == 0
+            assert stats.rollouts_completed == 1
+            assert stats.sessions_lost == 0
+            for slot in router._slots:
+                assert slot.weights_version == report.target_version
+                assert not slot.draining  # every window was resumed
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_post_swap_evaluations_use_new_weights():
+    async def main():
+        router = network_router(2)
+        await router.start()
+        try:
+            report = await roll_weights(router, fresh_weights())
+            target = report.target_version
+            # lazy recompile: the plan catches up on the next evaluation
+            # each shard serves, never before, never to an older version
+            served: set[int] = set()
+            for _ in range(16):
+                sid = await router.create_session()
+                shard_index = router._records[sid].shard_index
+                reply = await router.play_move(sid)
+                served.add(shard_index)
+                if not reply["done"]:
+                    await router.resign(sid)
+            for slot in router._slots:
+                version = await slot.link.request({"op": "version"})
+                assert version["weights_version"] == target
+                if slot.index in served:  # this shard served post-swap
+                    assert version["plan_version"] == target
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_rollout_skips_dead_shard_and_reports_inconsistency():
+    async def main():
+        router = network_router(3)
+        await router.start()
+        try:
+            router.kill_shard(1)
+            router._slots[1].healthy = False  # health verdict, fast-forwarded
+            report = await roll_weights(router, fresh_weights())
+            assert not report.consistent
+            assert report.steps[1].skipped
+            live = {s.new_version for s in report.steps if not s.skipped}
+            assert len(live) == 1
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_rollout_rejects_weightless_evaluator():
+    async def main():
+        spec = ShardSpec(shard_id=0, evaluator="uniform", num_playouts=2)
+        router = ShardRouter.local(
+            1, spec, executor=InlineExecutor(), health_interval_s=60.0
+        )
+        await router.start()
+        try:
+            with pytest.raises(GatewayError):
+                await roll_weights(router, fresh_weights())
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())

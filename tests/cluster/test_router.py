@@ -1,0 +1,210 @@
+"""Router units: placement, spillover, typed errors, backoff, draining."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import BackoffPolicy, ShardRouter, ShardSpec
+from repro.serving import InlineExecutor
+from repro.serving.service import (
+    GatewayOverloaded,
+    InvalidMove,
+    SessionNotFound,
+)
+
+
+def make_router(num_shards=2, *, clock=None, spec=None, **kwargs):
+    base = spec or ShardSpec(
+        shard_id=0, num_playouts=2, deadline_ms=50.0, gc_interval_s=60.0
+    )
+    kwargs.setdefault("health_interval_s", 60.0)  # tests drive faults directly
+    return ShardRouter.local(
+        num_shards, base, clock=clock, executor=InlineExecutor(), **kwargs
+    )
+
+
+def test_create_play_resign_accounting():
+    async def main():
+        router = make_router(3)
+        await router.start()
+        try:
+            done = resigned = 0
+            sids = [await router.create_session("tictactoe") for _ in range(6)]
+            for sid in sids[:3]:
+                while True:
+                    reply = await router.play_move(sid)
+                    assert reply["session"] == sid  # cluster id, not shard's
+                    if reply["done"]:
+                        done += 1
+                        break
+            for sid in sids[3:]:
+                await router.resign(sid)
+                resigned += 1
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_admitted == 6
+            assert stats.sessions_completed == done == 3
+            assert stats.sessions_resigned == resigned == 3
+            assert stats.sessions_active == 0
+            assert stats.sessions_lost == 0
+            # placement spread over the ring, not all on one shard
+            placed = {e[2] for e in router.events if e[1] == "admit"}
+            assert len(placed) > 1
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_session_ids_are_cluster_scoped_and_stable():
+    async def main():
+        router = make_router(2)
+        await router.start()
+        try:
+            a = await router.create_session()
+            b = await router.create_session()
+            assert a != b
+            record = router._records[b]
+            victim = router._slots[record.shard_index]
+            router.kill_shard(victim.index)
+            reply = await router.play_move(b)  # relocates under the same id
+            assert reply["session"] == b
+            assert router._records[b].shard_index != victim.index
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_admission_spills_over_full_shard():
+    async def main():
+        spec = ShardSpec(
+            shard_id=0, num_playouts=2, deadline_ms=50.0, max_sessions=1
+        )
+        router = make_router(2, spec=spec)
+        await router.start()
+        try:
+            # two one-slot shards hold two sessions; the third admission
+            # walks the whole ring before rejecting
+            await router.create_session()
+            await router.create_session()
+            with pytest.raises(GatewayOverloaded):
+                await router.create_session()
+            stats = router.stats()
+            assert stats.sessions_admitted == 2
+            assert stats.sessions_rejected == 1
+            stats.check_accounting()
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_typed_errors_pass_through():
+    async def main():
+        router = make_router(1)
+        await router.start()
+        try:
+            with pytest.raises(SessionNotFound):
+                await router.play_move(999)
+            sid = await router.create_session()
+            with pytest.raises(InvalidMove):
+                await router.play_move(sid, action=10**6)
+            # a client error must not corrupt the shadow history
+            assert router._records[sid].history == []
+            reply = await router.play_move(sid)
+            assert router._records[sid].history == [reply["engine_action"]]
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_resign_on_dead_shard_is_authoritative():
+    async def main():
+        router = make_router(2)
+        await router.start()
+        try:
+            sid = await router.create_session()
+            router.kill_shard(router._records[sid].shard_index)
+            assert await router.resign(sid) == "resigned"
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_resigned == 1
+            assert stats.sessions_lost == 0
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_lost_reply_retries_and_deduplicates():
+    async def main():
+        router = make_router(1)
+        await router.start()
+        try:
+            sid = await router.create_session()
+            shard = router._slots[0].link
+            shard.drop_replies(1)  # move applies server-side, reply vanishes
+            reply = await router.play_move(sid)
+            gw_stats = shard.gateway.stats()
+            # the retry answered from the shard's reply cache: one logical
+            # move, one server-side application
+            assert gw_stats.deduped_replies == 1
+            assert gw_stats.moves_served == 1
+            assert router.stats().move_retries >= 1
+            # shadow history matches the shard's authoritative line
+            session = shard.gateway._sessions[router._records[sid].remote_id]
+            assert router._records[sid].history == session.history
+            assert reply["move_number"] == 1
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_drain_relocates_and_resumes():
+    async def main():
+        router = make_router(2)
+        await router.start()
+        try:
+            sids = [await router.create_session() for _ in range(4)]
+            target = next(s.index for s in router._slots if s.sessions)
+            aboard = len(router._slots[target].sessions)
+            moved = await router.drain_shard(target, resume=True)
+            assert moved == aboard
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_drained == moved > 0
+            assert stats.sessions_lost == 0
+            assert not router._slots[target].sessions
+            # drained sessions keep playing from their exact positions
+            for sid in sids:
+                reply = await router.play_move(sid)
+                assert reply["move_number"] >= 1
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_backoff_schedule_is_deterministic_per_key():
+    policy = BackoffPolicy(base_s=0.1, max_s=2.0, jitter=0.3, max_retries=5)
+    a = list(policy.delays(7, 1, 2))
+    b = list(policy.delays(7, 1, 2))
+    c = list(policy.delays(7, 1, 3))
+    assert a == b
+    assert a != c
+    # bounded: every delay within the jittered envelope of its attempt
+    for k, delay in enumerate(a):
+        raw = min(2.0, 0.1 * 2.0**k)
+        assert raw * 0.7 <= delay <= raw * 1.3
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base_s=0.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(max_retries=-1)

@@ -412,14 +412,14 @@ class TestWireLayer:
                 # malformed op -> 400, connection still usable
                 raw = await client.request({"op": "warp"})
                 assert raw["ok"] is False and raw["code"] == 400
-                # out-of-range / non-integer actions -> 400 InvalidMove,
+                # out-of-range / non-integer actions -> 422 InvalidMove,
                 # never a dead connection (regression: unchecked index)
                 session = await client.new_match()
                 for bad_action in (99, -1, 4.5, "4", True):
                     reply = await client.request(
                         {"op": "move", "session": session, "action": bad_action}
                     )
-                    assert reply["ok"] is False and reply["code"] == 400, (
+                    assert reply["ok"] is False and reply["code"] == 422, (
                         bad_action
                     )
                 good = await client.move(session, action=4)

@@ -1,0 +1,147 @@
+"""GatewayClient transport hardening: every wire failure is typed.
+
+A peer that dies mid-reply used to leak ``json.JSONDecodeError`` (torn
+line) or a bare ``ConnectionResetError`` to the caller; these tests pin
+the contract that *every* transport failure -- torn line, corrupt line,
+mid-request disconnect, read timeout, refused connect -- surfaces as
+:class:`GatewayConnectionError`, the one exception the cluster retry
+path catches.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.service import (
+    GatewayClient,
+    GatewayConnectionError,
+    GatewayServer,
+    MatchGateway,
+)
+
+
+async def misbehaving_server(behavior: str):
+    """A TCP peer that reads one line then misbehaves per *behavior*."""
+
+    async def handle(reader, writer):
+        await reader.readline()
+        if behavior == "torn":
+            writer.write(b'{"ok": true, "sess')  # no newline, then gone
+            await writer.drain()
+        elif behavior == "corrupt":
+            writer.write(b"}}} not json {{{\n")
+            await writer.drain()
+        elif behavior == "close":
+            pass  # immediate disconnect, zero bytes
+        elif behavior == "hang":
+            await asyncio.sleep(30)
+        writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+@pytest.mark.parametrize(
+    "behavior,fragment",
+    [
+        ("torn", "torn reply line"),
+        ("corrupt", "corrupt reply line"),
+        ("close", "closed the connection"),
+        ("hang", "no reply within"),
+    ],
+)
+def test_wire_failures_are_typed(behavior, fragment):
+    async def main():
+        server, host, port = await misbehaving_server(behavior)
+        client = await GatewayClient.connect(host, port, timeout_s=0.2)
+        try:
+            with pytest.raises(GatewayConnectionError, match=fragment):
+                await client.request({"op": "ping"})
+        finally:
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(main())
+
+
+def test_connect_refused_is_typed():
+    async def main():
+        # bind-then-close guarantees a port with no listener
+        probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+        with pytest.raises(GatewayConnectionError):
+            await GatewayClient.connect("127.0.0.1", port, timeout_s=1.0)
+
+    asyncio.run(main())
+
+
+def test_typed_error_still_catches_as_connection_error():
+    # existing call sites say `except ConnectionError`; the typed class
+    # must keep satisfying them
+    assert issubclass(GatewayConnectionError, ConnectionError)
+
+
+def test_ping_and_idempotent_move_over_tcp():
+    async def main():
+        gateway = MatchGateway(num_playouts=2, deadline_ms=50.0)
+        server = GatewayServer(gateway)
+        host, port = await server.start()
+        client = await GatewayClient.connect(host, port, timeout_s=5.0)
+        try:
+            pong = await client.ping()
+            assert pong["ok"] and pong["draining"] is False
+            session = await client.new_match()
+            first = await client.move(session, request_id="m0")
+            again = await client.move(session, request_id="m0")
+            # the repeat answered from the reply cache: identical reply,
+            # no second move applied
+            assert again == first
+            stats = gateway.stats()
+            assert stats.deduped_replies == 1
+            assert stats.moves_served == 1
+        finally:
+            await client.aclose()
+            await server.aclose()
+
+    asyncio.run(main())
+
+
+def test_restore_and_drain_ops_over_tcp():
+    async def main():
+        gateway = MatchGateway(num_playouts=2, deadline_ms=50.0)
+        server = GatewayServer(gateway)
+        host, port = await server.start()
+        client = await GatewayClient.connect(host, port, timeout_s=5.0)
+        try:
+            session = await client.new_match()
+            reply = await client.move(session)
+            played = [reply["engine_action"]]
+            drained = await client.request({"op": "drain"})
+            assert drained["ok"]
+            exported = drained["drained"]
+            assert len(exported) == 1
+            assert exported[0]["actions"] == played
+            # draining gateway refuses admissions with a 503
+            rejected = await client.request({"op": "new"})
+            assert rejected["ok"] is False and rejected["code"] == 503
+            resumed = await client.request({"op": "resume"})
+            assert resumed["ok"]
+            # restore replays the exported line into a fresh session
+            restored = await client.request(
+                {"op": "restore", "actions": exported[0]["actions"]}
+            )
+            assert restored["ok"] and not restored["done"]
+            follow = await client.move(restored["session"])
+            assert follow["ok"] and follow["move_number"] >= 1
+            # an illegal line is rejected with ply-precise diagnostics
+            bad = await client.request({"op": "restore", "actions": [0, 0]})
+            assert bad["ok"] is False and "ply 1" in bad["error"]
+        finally:
+            await client.aclose()
+            await server.aclose()
+
+    asyncio.run(main())
