@@ -172,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--inference-backend", default="fused", choices=["reference", "fused"],
     )
     p_srv.add_argument(
+        "--evalbus", default="auto", choices=["auto", "on", "off"],
+        help="cross-session evaluation bus fusing leaves from all live "
+             "sessions into shared accelerator batches (auto = on for "
+             "the thread backend, off for process)",
+    )
+    p_srv.add_argument(
+        "--bus-linger-ms", type=float, default=2.0,
+        help="max milliseconds the oldest pending leaf waits for "
+             "cross-session batch-mates before a partial flush",
+    )
+    p_srv.add_argument(
         "--demo-games", type=int, default=0,
         help="play K concurrent engine-vs-engine demo sessions through "
              "the TCP client, print stats, and exit (0 = serve forever)",
@@ -195,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument(
         "--evaluator", default="uniform", choices=["network", "uniform"],
         help="per-shard evaluator (network required for --roll-weights)",
+    )
+    p_cl.add_argument(
+        "--evalbus", default="auto", choices=["auto", "on", "off"],
+        help="per-shard cross-session evaluation bus (auto = gateway "
+             "default: on, one bus per shard)",
     )
     p_cl.add_argument("--demo-games", type=int, default=4,
                       help="concurrent engine-vs-engine sessions to play "
@@ -392,6 +408,8 @@ def cmd_serve(args) -> int:
         idle_timeout_s=args.idle_timeout,
         tree_backend=args.tree_backend,
         seed=args.seed + 1,
+        evalbus={"auto": None, "on": True, "off": False}[args.evalbus],
+        bus_linger_ms=args.bus_linger_ms,
     )
 
     async def demo_session(host: str, port: int) -> tuple[int, int]:
@@ -468,6 +486,7 @@ def cmd_cluster(args) -> int:
         deadline_ms=args.deadline_ms,
         num_playouts=args.playouts,
         workers=args.workers,
+        evalbus={"auto": None, "on": True, "off": False}[args.evalbus],
     )
     router = ShardRouter.processes(
         args.shards,

@@ -69,6 +69,11 @@ class ShardSpec:
     inference_backend: str = "fused"
     rpc_timeout_s: float = 5.0
     host: str = "127.0.0.1"
+    #: cross-session evaluation bus: ``None`` lets the gateway pick its
+    #: default (on for the thread backend every shard uses); each shard
+    #: gets its *own* bus -- shared-nothing extends to the batch queue
+    evalbus: bool | None = None
+    bus_linger_ms: float = 2.0
     extra: dict = field(default_factory=dict, compare=False)
 
     def with_shard_id(self, shard_id: int) -> "ShardSpec":
@@ -115,6 +120,8 @@ class ShardSpec:
             seed=self.seed + 7919 * self.shard_id + epoch,
             clock=clock,
             executor=executor,
+            evalbus=self.evalbus,
+            bus_linger_ms=self.bus_linger_ms,
             shard_id=f"shard-{self.shard_id}",
         )
 

@@ -115,11 +115,15 @@ class TreeReuseMCTS:
         if budget.num_playouts is not None:
             needed = max(1, budget.num_playouts - root.visit_count)
         clock = budget.start(target=needed)
-        while True:
-            self._playout(root, game.copy())
-            clock.note()
-            if clock.done():
-                return root
+        # expose the armed deadline to the evaluator seam (observational
+        # only -- see BudgetClock.activated); the cross-session bus reads
+        # it to decide how urgently this session's leaves must flush
+        with clock.activated():
+            while True:
+                self._playout(root, game.copy())
+                clock.note()
+                if clock.done():
+                    return root
 
     def _playout(self, root: Node, game: Game) -> None:
         leaf, leaf_game, _ = select_leaf(

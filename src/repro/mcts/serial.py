@@ -106,16 +106,23 @@ class SerialMCTS:
         )
         root = make_root(self.tree_backend, capacity_hint(game.action_size, cap))
         first = True
-        while True:
-            self._playout(root, game.copy())
-            clock.note()
-            if first and self.dirichlet_epsilon > 0:
-                add_dirichlet_noise(
-                    root, self.rng, self.dirichlet_alpha, self.dirichlet_epsilon
-                )
-            first = False
-            if clock.done():
-                return root
+        # publish the armed clock so the evaluator seam (the shared
+        # evaluation bus above all) can read this search's deadline;
+        # purely observational, so count-parity is preserved
+        with clock.activated():
+            while True:
+                self._playout(root, game.copy())
+                clock.note()
+                if first and self.dirichlet_epsilon > 0:
+                    add_dirichlet_noise(
+                        root,
+                        self.rng,
+                        self.dirichlet_alpha,
+                        self.dirichlet_epsilon,
+                    )
+                first = False
+                if clock.done():
+                    return root
 
     def get_action_prior(
         self, game: Game, num_playouts: "int | SearchBudget"

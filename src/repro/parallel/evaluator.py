@@ -12,6 +12,14 @@ executes the batched inference inline and resolves all the futures.  A
 *linger timeout* flushes partial batches so the tail of a move (fewer
 requests remaining than the threshold) cannot deadlock.
 
+The linger is a **single armed window measured from the oldest pending
+entry**: a partial flush fires only once that entry has aged past
+``linger``, whoever happens to observe it first.  (Historically every
+blocked waiter ran its own private ``linger`` timer and called ``flush()``
+unconditionally on expiry, so N concurrent waiters shattered batches into
+N staggered partial flushes precisely as load rose -- the thundering-herd
+bug this module's stress suite pins down.)
+
 The flush threshold is adjustable at runtime (:meth:`set_batch_size`):
 the multi-game engine shrinks it as games finish so the last few producers
 are not condemned to linger-timeout stalls on every request.
@@ -24,6 +32,7 @@ can be pointed at a batched accelerator transparently.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
@@ -42,15 +51,19 @@ class AcceleratorQueue:
         is invoked with the accumulated states.
     batch_size : flush threshold (the communication batch size; for the
         shared-tree scheme the paper always sets this to N, Section 3.3).
-    linger : seconds a waiting producer tolerates before forcing a partial
-        flush.  Needed because the last requests of a move may never fill
-        a batch.
+    linger : seconds the *oldest* pending request tolerates before a
+        partial flush goes out.  Needed because the last requests of a
+        move may never fill a batch.  The window is armed once per
+        backlog, not once per waiter: however many producers are blocked,
+        a partial flush fires only when the front of the queue has aged
+        past ``linger``, so late joiners ride along instead of being
+        shattered into their own tiny batches.
 
-    Statistics (``batches_flushed``, ``requests_served``, ``partial_flushes``
-    and the derived ``mean_batch_occupancy``) are maintained under the queue
-    lock: flushes run concurrently on producer threads, and unsynchronised
-    ``+=`` read-modify-write updates would silently lose counts under
-    contention.
+    Statistics (``batches_flushed``, ``requests_served``, ``partial_flushes``,
+    ``linger_flushes`` and the derived ``mean_batch_occupancy``) are
+    maintained under the queue lock: flushes run concurrently on producer
+    threads, and unsynchronised ``+=`` read-modify-write updates would
+    silently lose counts under contention.
     """
 
     def __init__(
@@ -64,19 +77,27 @@ class AcceleratorQueue:
         self.linger = linger
         self._lock = threading.Lock()
         self._batch_size = batch_size
-        self._pending: list[tuple[Game, Future]] = []
+        #: (game, future, enqueued_at) in arrival order -- [0] is oldest
+        self._pending: list[tuple[Game, Future, float]] = []
         self.batches_flushed = 0
         self.requests_served = 0
         #: flushes that went out below the threshold (linger/tail flushes)
         self.partial_flushes = 0
+        #: partial flushes forced by the aged-oldest linger window
+        #: specifically (a subset of partial_flushes)
+        self.linger_flushes = 0
 
     @property
     def batch_size(self) -> int:
         return self._batch_size
 
     def set_batch_size(self, batch_size: int) -> None:
-        """Retarget the flush threshold; flushes immediately if the pending
-        backlog already meets the new (smaller) threshold."""
+        """Retarget the flush threshold to exactly *batch_size* -- growth
+        included (a gateway raising the threshold as sessions join must
+        not be silently clamped to the old value; use
+        :meth:`shrink_batch_size` for the monotone-min variant).  Flushes
+        immediately if the pending backlog already meets the new
+        (smaller) threshold."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         with self._lock:
@@ -112,9 +133,9 @@ class AcceleratorQueue:
     def submit(self, game: Game) -> Future:
         """Enqueue a state; returns a future resolving to its Evaluation."""
         fut: Future = Future()
-        flush_now: list[tuple[Game, Future]] | None = None
+        flush_now: list[tuple[Game, Future, float]] | None = None
         with self._lock:
-            self._pending.append((game, fut))
+            self._pending.append((game, fut, time.monotonic()))
             if len(self._pending) >= self._batch_size:
                 flush_now = self._pending
                 self._pending = []
@@ -123,15 +144,41 @@ class AcceleratorQueue:
         return fut
 
     def evaluate_blocking(self, game: Game) -> Evaluation:
-        """Submit and wait; forces a partial flush after the linger timeout."""
+        """Submit and wait; a partial flush fires once the *oldest* pending
+        entry has aged past ``linger``.
+
+        The aging check is what keeps N concurrent waiters from shattering
+        the batch: every waiter may wake, but none flushes before the
+        shared window (armed by the front of the queue) expires, and
+        whichever waiter takes the batch takes *all* of it.
+        """
         fut = self.submit(game)
         while True:
+            if fut.done():
+                return fut.result()
+            batch: list[tuple[Game, Future, float]] | None = None
+            with self._lock:
+                wait = self.linger
+                if self._pending:
+                    due = self._pending[0][2] + self.linger
+                    now = time.monotonic()
+                    if now >= due:
+                        batch = self._pending
+                        self._pending = []
+                        self.linger_flushes += 1
+                    else:
+                        wait = due - now
+                # an empty backlog here means our entry is inside a flush
+                # another thread is running; wait for its result below
+            if batch is not None:
+                self._run_batch(batch)
+                continue
             try:
-                return fut.result(timeout=self.linger)
+                return fut.result(timeout=max(wait, 1e-5))
             # On Python < 3.11 concurrent.futures.TimeoutError is NOT the
             # builtin TimeoutError, so both must be caught.
             except (TimeoutError, FuturesTimeoutError):
-                self.flush()
+                continue
 
     def flush(self) -> int:
         """Force evaluation of whatever is pending; returns the batch size."""
@@ -142,12 +189,12 @@ class AcceleratorQueue:
             self._run_batch(batch)
         return len(batch)
 
-    def _run_batch(self, batch: list[tuple[Game, Future]]) -> None:
-        games = [g for g, _ in batch]
+    def _run_batch(self, batch: list[tuple[Game, Future, float]]) -> None:
+        games = [g for g, _, _ in batch]
         try:
             evaluations = self.evaluator.evaluate_batch(games)
         except BaseException as err:  # propagate to all waiters
-            for _, fut in batch:
+            for _, fut, _ in batch:
                 fut.set_exception(err)
             return
         with self._lock:
@@ -155,7 +202,7 @@ class AcceleratorQueue:
             self.requests_served += len(batch)
             if len(batch) < self._batch_size:
                 self.partial_flushes += 1
-        for (_, fut), ev in zip(batch, evaluations):
+        for (_, fut, _), ev in zip(batch, evaluations):
             fut.set_result(ev)
 
     @property

@@ -12,6 +12,11 @@ single-game self-play to request-serving):
   G-games-one-queue orchestrator with round-level serving statistics
   (``backend="process"`` swaps the thread pool for the multiprocess
   :mod:`repro.farm` behind the same interface).
+- :mod:`repro.serving.evalbus` -- :class:`EvaluationBus`, the shared
+  deadline-aware evaluation service: leaves from *all* live gateway
+  sessions fuse into cross-session accelerator batches, scheduled by
+  budget urgency (closest-to-deadline first) with a single armed linger
+  window.
 - :mod:`repro.serving.service` -- :class:`MatchGateway`, the async
   request-facing front door: deadline-budgeted match sessions with
   admission control, idle GC and latency percentiles, plus the
@@ -28,6 +33,7 @@ from repro.serving.engine import (
     MultiGameSelfPlayEngine,
     ServingStats,
 )
+from repro.serving.evalbus import BusEvaluator, EvalBusStats, EvaluationBus
 from repro.serving.simulate import (
     ClusterScenarioResult,
     ClusterScenarioRunner,
@@ -54,9 +60,12 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "BusEvaluator",
     "CachingEvaluator",
     "ClusterScenarioResult",
     "ClusterScenarioRunner",
+    "EvalBusStats",
+    "EvaluationBus",
     "EvaluationCache",
     "FaultEvent",
     "GatewayClient",

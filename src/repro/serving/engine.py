@@ -159,6 +159,11 @@ class ServingStats:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    #: partial flushes forced specifically by the queue's aged-oldest
+    #: linger window (a subset of ``partial_flushes``; high counts mean
+    #: games are too few or too slow to fill the threshold).  Default 0:
+    #: the process farm's headcount-flushing evaluator has no linger.
+    linger_flushes: int = 0
     #: per-move search latency percentiles over the round (milliseconds);
     #: 0.0 where untracked (the process backend runs moves in worker
     #: processes and reports throughput-level stats only)
@@ -186,6 +191,7 @@ class ServingStats:
             "eval_batches": self.eval_batches,
             "mean_batch_occupancy": round(self.mean_batch_occupancy, 3),
             "partial_flushes": self.partial_flushes,
+            "linger_flushes": self.linger_flushes,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
@@ -401,6 +407,7 @@ class MultiGameSelfPlayEngine:
         base_requests = self.queue.requests_served
         base_batches = self.queue.batches_flushed
         base_partial = self.queue.partial_flushes
+        base_linger = self.queue.linger_flushes
         base_hits = self.cache.hits
         base_misses = self.cache.misses
         with self._active_lock:
@@ -427,6 +434,7 @@ class MultiGameSelfPlayEngine:
             eval_batches=batches,
             mean_batch_occupancy=requests / batches if batches else 0.0,
             partial_flushes=self.queue.partial_flushes - base_partial,
+            linger_flushes=self.queue.linger_flushes - base_linger,
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,

@@ -1,0 +1,496 @@
+"""Cross-session fused evaluation bus: one batched pipeline for all
+live gateway sessions.
+
+E16's diagnosis: once gateway concurrency rises, every session's
+TreeReuseMCTS evaluates its leaves independently -- batch-of-one
+forwards, N GIL-sharing threads each serialised behind the other N-1
+singleton evaluations -- and p99 move latency blows the deadline (16
+sessions -> 309 ms against a 100 ms promise).  This is exactly the
+batching economics the paper quantifies within one search (the E2
+B*-per-N V-curves) surfacing *across users*: the accelerator wants one
+fused batch, the sessions are each feeding it crumbs.
+
+:class:`EvaluationBus` is the shared, deadline-aware service that fixes
+it.  Every session's search scheme keeps calling its plain
+``evaluator.evaluate(game)``; behind that seam a :class:`BusEvaluator`
+facade submits the leaf to the bus tagged with the session's armed
+:class:`~repro.mcts.budget.BudgetSnapshot` (published per-thread by
+``BudgetClock.activated()``), and the bus fuses concurrent leaves into
+one ``evaluate_batch`` call.  Scheduling policy:
+
+- **Busy-headcount threshold.**  The flush threshold tracks the number
+  of searches currently in flight (the farm's shm-ring idiom in
+  in-process form): when every active search has a leaf pending, waiting
+  longer buys nothing, so the submission that meets the headcount runs
+  the fused batch inline.
+- **Single armed linger.**  Below the threshold, exactly one scheduler
+  (a daemon thread on wall clocks; the submitting caller itself in the
+  deterministic inline mode) flushes when the *oldest* pending leaf has
+  aged past ``linger`` -- the same aged-oldest window the
+  :class:`~repro.parallel.evaluator.AcceleratorQueue` uses, never one
+  private timer per waiter.
+- **Deadline priority.**  A leaf whose budget has less than
+  ``deadline_lead_ms`` remaining flushes immediately (an expired session
+  must not linger for batch-mates it will never use), and when the
+  backlog exceeds ``max_batch`` the entries closest to budget expiry go
+  out first.
+
+When the bus is disabled the gateway degrades gracefully to the
+historical per-session evaluation path -- the bus is an overlay on the
+evaluator seam, not a rewrite of it.  Evaluations are value-identical
+either way: a fused ``evaluate_batch`` row equals the singleton
+``evaluate`` result (the farm's exact-determinism suite already stands
+on this), so generous-deadline bit-parity is preserved for every scheme.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.games.base import Game
+from repro.mcts.budget import BudgetSnapshot, active_budget_snapshot
+from repro.mcts.evaluation import Evaluation, Evaluator
+from repro.utils.clock import WALL_CLOCK, Clock, WallClock
+
+__all__ = ["BusClosed", "EvalBusStats", "EvaluationBus", "BusEvaluator"]
+
+
+class BusClosed(RuntimeError):
+    """Submission after :meth:`EvaluationBus.close` (gateway shutdown)."""
+
+
+class _Entry:
+    """One pending leaf: who waits, since when, and how urgently."""
+
+    __slots__ = ("game", "fut", "enqueued_at", "deadline_at")
+
+    def __init__(
+        self, game: Game, fut: Future, enqueued_at: float, deadline_at: float | None
+    ) -> None:
+        self.game = game
+        self.fut = fut
+        self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+
+
+@dataclass(frozen=True)
+class EvalBusStats:
+    """Bus-lifetime scheduling telemetry.
+
+    ``mean_occupancy`` is the Section-3.3 figure of merit (requests per
+    fused batch); the flush-cause counters say *why* batches went out --
+    a healthy loaded bus flushes mostly at the threshold, a bus serving
+    one idle session flushes inline, and deadline flushes count the
+    moments budget expiry pre-empted batching.
+    """
+
+    requests: int
+    batches: int
+    mean_occupancy: float
+    threshold_flushes: int
+    linger_flushes: int
+    deadline_flushes: int
+    inline_flushes: int
+    max_batch_seen: int
+    busy_searches: int
+    pending: int
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_occupancy": round(self.mean_occupancy, 3),
+            "threshold_flushes": self.threshold_flushes,
+            "linger_flushes": self.linger_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "inline_flushes": self.inline_flushes,
+            "max_batch_seen": self.max_batch_seen,
+            "busy_searches": self.busy_searches,
+            "pending": self.pending,
+        }
+
+
+class EvaluationBus:
+    """Deadline-aware shared evaluation service over one batched evaluator.
+
+    Parameters
+    ----------
+    evaluator : the backing evaluator; fused batches go through its
+        ``evaluate_batch`` (the fused-plan pipeline when a network sits
+        behind it).
+    max_batch : hard cap on one fused batch; an over-full backlog is
+        split with the most-urgent entries going out first.
+    linger : seconds the oldest pending leaf tolerates before a partial
+        flush (the batching window below the busy-headcount threshold).
+    deadline_lead_ms : urgency horizon -- a leaf whose budget has at most
+        this many milliseconds remaining flushes immediately, and the
+        scheduler arms its timer so no pending leaf sleeps into that
+        horizon.
+    clock : time source for enqueue ages and deadline math (the
+        gateway's clock, so budget deadlines and bus timestamps share a
+        timebase).
+    scheduler : ``"thread"`` (a daemon scheduler thread owns the linger
+        timer -- wall clocks only), ``"inline"`` (no thread; submitters
+        flush synchronously -- the deterministic mode virtual-time
+        harnesses rely on), or ``None`` to pick by clock type.
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        *,
+        max_batch: int = 64,
+        linger: float = 0.002,
+        deadline_lead_ms: float = 5.0,
+        clock: Clock | None = None,
+        scheduler: str | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger <= 0:
+            raise ValueError("linger must be positive")
+        if deadline_lead_ms < 0:
+            raise ValueError("deadline_lead_ms must be >= 0")
+        self.evaluator = evaluator
+        self.max_batch = max_batch
+        self.linger = linger
+        self.deadline_lead_ms = deadline_lead_ms
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
+        wall = isinstance(self.clock, WallClock)
+        if scheduler is None:
+            scheduler = "thread" if wall else "inline"
+        if scheduler not in ("thread", "inline"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if scheduler == "thread" and not wall:
+            # the scheduler thread sleeps on a condition variable in real
+            # time; pairing that with virtual timestamps would deadlock
+            raise ValueError(
+                "scheduler='thread' requires a wall clock; virtual-time "
+                "harnesses run the bus inline for determinism"
+            )
+        self._cond = threading.Condition()
+        self._entries: list[_Entry] = []
+        self._busy = 0
+        self._closed = False
+        # lifetime counters (all mutated under the condition's lock)
+        self._requests = 0
+        self._batches = 0
+        self._threshold_flushes = 0
+        self._linger_flushes = 0
+        self._deadline_flushes = 0
+        self._inline_flushes = 0
+        self._max_batch_seen = 0
+        self._thread: threading.Thread | None = None
+        if scheduler == "thread":
+            self._thread = threading.Thread(
+                target=self._scheduler_main,
+                name="evalbus-scheduler",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # -- search headcount ----------------------------------------------------
+    def begin_search(self) -> None:
+        """A session's search entered flight: raise the flush threshold."""
+        with self._cond:
+            self._busy += 1
+
+    def end_search(self) -> None:
+        """A search left flight: lower the threshold, flushing any backlog
+        the smaller headcount now satisfies (the round-tail rule -- the
+        remaining searches must never wait on departed ones)."""
+        batch = None
+        with self._cond:
+            self._busy = max(0, self._busy - 1)
+            if self._entries and len(self._entries) >= self._threshold():
+                batch = self._take_locked("threshold")
+        if batch:
+            self._run_batch(batch)
+
+    @contextmanager
+    def searching(self):
+        """``begin_search`` / ``end_search`` as a context manager."""
+        self.begin_search()
+        try:
+            yield self
+        finally:
+            self.end_search()
+
+    def _threshold(self) -> int:
+        # flush once every in-flight search has a leaf aboard; clamp to
+        # the device cap, and to 1 so an unregistered caller never waits
+        return max(1, min(self._busy, self.max_batch))
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self, game: Game, *, snapshot: BudgetSnapshot | None = None
+    ) -> Future:
+        """Enqueue a leaf; returns a future resolving to its Evaluation.
+
+        *snapshot* tags the leaf with its search's remaining budget;
+        ``None`` reads the submitting thread's active budget (the scheme
+        seam).  Deadlines are converted to this bus's clock at submit
+        time, so sessions running on different clocks still compare.
+        """
+        if snapshot is None:
+            snapshot = active_budget_snapshot()
+        fut: Future = Future()
+        batch = None
+        with self._cond:
+            if self._closed:
+                raise BusClosed("evaluation bus is closed")
+            now = self.clock.perf_counter()
+            deadline_at = None
+            remaining_ms = None if snapshot is None else snapshot.remaining_ms
+            if remaining_ms is not None:
+                deadline_at = now + remaining_ms / 1e3
+            self._entries.append(_Entry(game, fut, now, deadline_at))
+            if len(self._entries) >= self._threshold():
+                batch = self._take_locked("threshold")
+            elif remaining_ms is not None and remaining_ms <= self.deadline_lead_ms:
+                batch = self._take_locked("deadline")
+            else:
+                # re-arm the scheduler's timer around the new entry
+                self._cond.notify_all()
+        if batch is not None:
+            self._run_batch(batch)
+        return fut
+
+    def evaluate(
+        self, game: Game, *, snapshot: BudgetSnapshot | None = None
+    ) -> Evaluation:
+        """Submit and wait (the :class:`BusEvaluator` hot path).
+
+        In thread mode waiters are active flushers sharing one armed
+        window with the scheduler: whoever observes the aged-oldest (or
+        deadline-pulled) due instant first takes the *whole* backlog,
+        exactly the :class:`~repro.parallel.evaluator.AcceleratorQueue`
+        single-window rule.  A waiter must not park passively on its
+        future: the scheduler thread can be pinned inside an earlier
+        batch's GIL-heavy forward pass precisely when traffic is
+        heaviest, and any leaf that sleeps through that stall drags a
+        whole move's tail latency with it.  In inline mode (virtual-time
+        harnesses) the caller flushes synchronously -- nothing else can
+        be concurrent, so the result is deterministic and immediate.
+        """
+        fut = self.submit(game, snapshot=snapshot)
+        if self._thread is None:
+            if not fut.done():
+                self.flush()
+            return fut.result()
+        while True:
+            if fut.done():
+                return fut.result()
+            batch = None
+            with self._cond:
+                wait = self.linger
+                if self._entries:
+                    now = self.clock.perf_counter()
+                    due = self._due_locked(now)
+                    if now >= due:
+                        aged = (
+                            now >= self._entries[0].enqueued_at + self.linger
+                        )
+                        batch = self._take_locked(
+                            "linger" if aged else "deadline"
+                        )
+                    else:
+                        wait = due - now
+                # an empty backlog means our leaf rides a batch another
+                # thread is evaluating; wait for its result below
+            if batch is not None:
+                self._run_batch(batch)
+                continue
+            try:
+                return fut.result(timeout=max(wait, 1e-5))
+            # On Python < 3.11 concurrent.futures.TimeoutError is NOT the
+            # builtin TimeoutError, so both must be caught.
+            except (TimeoutError, FuturesTimeoutError):
+                continue
+
+    def flush(self) -> int:
+        """Force out whatever is pending; returns the batch size."""
+        with self._cond:
+            batch = self._take_locked("inline")
+        if batch:
+            self._run_batch(batch)
+        return 0 if batch is None else len(batch)
+
+    # -- internals -----------------------------------------------------------
+    def _take_locked(self, reason: str) -> list[_Entry] | None:
+        """Detach up to ``max_batch`` entries (most urgent first when the
+        backlog is over-full).  Caller holds the lock and runs the batch
+        *outside* it."""
+        if not self._entries:
+            return None
+        if len(self._entries) <= self.max_batch:
+            batch = self._entries
+            self._entries = []
+        else:
+            # deadline priority: sessions closest to budget expiry go in
+            # this batch; undated entries (count-only budgets) queue behind
+            order = sorted(
+                range(len(self._entries)),
+                key=lambda i: (
+                    self._entries[i].deadline_at is None,
+                    self._entries[i].deadline_at
+                    if self._entries[i].deadline_at is not None
+                    else self._entries[i].enqueued_at,
+                ),
+            )
+            chosen = set(order[: self.max_batch])
+            batch = [e for i, e in enumerate(self._entries) if i in chosen]
+            self._entries = [
+                e for i, e in enumerate(self._entries) if i not in chosen
+            ]
+        if reason == "threshold":
+            self._threshold_flushes += 1
+        elif reason == "linger":
+            self._linger_flushes += 1
+        elif reason == "deadline":
+            self._deadline_flushes += 1
+        else:
+            self._inline_flushes += 1
+        return batch
+
+    def _due_locked(self, now: float) -> float:
+        """Earliest instant the backlog must flush: the aged-oldest linger
+        window, pulled forward by any entry's deadline horizon."""
+        due = self._entries[0].enqueued_at + self.linger
+        lead = self.deadline_lead_ms / 1e3
+        for entry in self._entries:
+            if entry.deadline_at is not None:
+                due = min(due, entry.deadline_at - lead)
+        return due
+
+    def _run_batch(self, batch: list[_Entry]) -> None:
+        games = [e.game for e in batch]
+        try:
+            evaluations = self.evaluator.evaluate_batch(games)
+        except BaseException as err:  # propagate to every waiter
+            for entry in batch:
+                entry.fut.set_exception(err)
+            return
+        with self._cond:
+            self._batches += 1
+            self._requests += len(batch)
+            if len(batch) > self._max_batch_seen:
+                self._max_batch_seen = len(batch)
+        for entry, ev in zip(batch, evaluations):
+            entry.fut.set_result(ev)
+
+    def _scheduler_main(self) -> None:
+        try:
+            self._scheduler_loop()
+        except BaseException as err:  # pragma: no cover - hardening
+            # never strand waiters behind a dead scheduler: fail the
+            # backlog loudly (the failsafe covers entries in flight)
+            with self._cond:
+                self._closed = True
+                entries, self._entries = self._entries, []
+            for entry in entries:
+                if not entry.fut.done():
+                    entry.fut.set_exception(err)
+            raise
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            batch = None
+            with self._cond:
+                while not self._closed and not self._entries:
+                    self._cond.wait()
+                if not self._entries:
+                    return  # closed and drained
+                now = self.clock.perf_counter()
+                due = self._due_locked(now)
+                if len(self._entries) >= self._threshold():
+                    batch = self._take_locked("threshold")
+                elif now >= due or self._closed:
+                    # which bound pulled the trigger decides the label
+                    aged = now >= self._entries[0].enqueued_at + self.linger
+                    batch = self._take_locked(
+                        "linger" if aged or self._closed else "deadline"
+                    )
+                else:
+                    self._cond.wait(timeout=due - now)
+            if batch is not None:
+                self._run_batch(batch)
+
+    # -- lifecycle / telemetry ------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting leaves, flush the backlog, reap the scheduler.
+
+        Idempotent; in-flight waiters are resolved (or failed) rather
+        than stranded.
+        """
+        with self._cond:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+            self._cond.notify_all()
+        if already:
+            return
+        self.flush()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    @property
+    def mean_occupancy(self) -> float:
+        with self._cond:
+            if self._batches == 0:
+                return 0.0
+            return self._requests / self._batches
+
+    def stats(self) -> EvalBusStats:
+        with self._cond:
+            return EvalBusStats(
+                requests=self._requests,
+                batches=self._batches,
+                mean_occupancy=(
+                    self._requests / self._batches if self._batches else 0.0
+                ),
+                threshold_flushes=self._threshold_flushes,
+                linger_flushes=self._linger_flushes,
+                deadline_flushes=self._deadline_flushes,
+                inline_flushes=self._inline_flushes,
+                max_batch_seen=self._max_batch_seen,
+                busy_searches=self._busy,
+                pending=len(self._entries),
+            )
+
+
+class BusEvaluator(Evaluator):
+    """Per-session :class:`~repro.mcts.evaluation.Evaluator` facade over a
+    shared :class:`EvaluationBus`.
+
+    The scheme's singleton ``evaluate`` rides the bus (tagged with the
+    thread's active budget snapshot); an already-batched
+    ``evaluate_batch`` bypasses accumulation and goes straight to the
+    backing evaluator, mirroring
+    :class:`~repro.parallel.evaluator.BatchingEvaluator`.
+    """
+
+    def __init__(self, bus: EvaluationBus) -> None:
+        self.bus = bus
+
+    def evaluate(self, game: Game) -> Evaluation:
+        return self.bus.evaluate(game)
+
+    def evaluate_batch(self, games: list[Game]) -> list[Evaluation]:
+        return self.bus.evaluator.evaluate_batch(games)

@@ -53,6 +53,7 @@ from repro.mcts.serial import SerialMCTS
 from repro.nn.infer import ensure_plan
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.serving.engine import LatencyTracker
+from repro.serving.evalbus import BusEvaluator, EvaluationBus
 from repro.utils.clock import (
     WALL_CLOCK,
     Clock,
@@ -233,6 +234,14 @@ class GatewayStats:
     draining: bool = False
     shard_id: str | None = None
     weights_version: int | None = None
+    # evaluation-bus fields (zero/False when the bus is off, so bus-less
+    # gateways and old stats consumers are unchanged)
+    bus_enabled: bool = False
+    bus_requests: int = 0
+    bus_batches: int = 0
+    bus_occupancy: float = 0.0
+    bus_deadline_flushes: int = 0
+    bus_linger_flushes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -256,6 +265,12 @@ class GatewayStats:
             "latency_p95_ms": round(self.latency_p95_ms, 3),
             "latency_p99_ms": round(self.latency_p99_ms, 3),
             "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "bus_enabled": self.bus_enabled,
+            "bus_requests": self.bus_requests,
+            "bus_batches": self.bus_batches,
+            "bus_occupancy": round(self.bus_occupancy, 3),
+            "bus_deadline_flushes": self.bus_deadline_flushes,
+            "bus_linger_flushes": self.bus_linger_flushes,
         }
 
 
@@ -340,6 +355,23 @@ class MatchGateway:
         :class:`~concurrent.futures.ThreadPoolExecutor`.  Injected
         executors are *borrowed*: :meth:`aclose` does not shut them
         down.
+    evalbus : route the thread backend's leaf evaluations through one
+        cross-session :class:`~repro.serving.evalbus.EvaluationBus`, so
+        leaves from *different* concurrent sessions fuse into shared
+        accelerator batches instead of racing N singleton forwards
+        through the GIL.  ``None`` (the default) auto-enables it for the
+        thread backend and leaves the process backend bus-less (forked
+        workers cannot share an in-process queue; explicitly passing
+        ``True`` there raises).  ``False`` forces per-session evaluation
+        -- the pre-bus behaviour, kept for A/B benchmarks.
+    bus_max_batch : largest fused batch the bus emits; ``None`` sizes it
+        to ``max_inflight`` (the most concurrent searches the gateway
+        admits, hence the most leaves that can ever be pending at once).
+    bus_linger_ms : how long the oldest pending leaf may wait for
+        batch-mates before a partial flush goes out.
+    bus_deadline_lead_ms : urgency horizon -- a leaf whose session has no
+        more than this many milliseconds of move budget left flushes
+        immediately rather than lingering.
     shard_id : cluster-assigned label stamped into stats / ``version``
         replies so fleet telemetry can attribute numbers to shards
         (``None`` for a standalone gateway).
@@ -368,6 +400,10 @@ class MatchGateway:
         seed: int | np.random.Generator | None = 0,
         clock: Clock | None = None,
         executor: Executor | None = None,
+        evalbus: bool | None = None,
+        bus_max_batch: int | None = None,
+        bus_linger_ms: float = 2.0,
+        bus_deadline_lead_ms: float = 5.0,
         shard_id: str | None = None,
         reply_cache_size: int = 1024,
     ) -> None:
@@ -375,6 +411,15 @@ class MatchGateway:
             raise ValueError(f"unknown backend {backend!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend == "process" and evalbus:
+            raise ValueError(
+                "evalbus is a thread-backend feature: forked workers "
+                "cannot share an in-process evaluation queue"
+            )
+        if bus_linger_ms <= 0:
+            raise ValueError("bus_linger_ms must be positive")
+        if bus_max_batch is not None and bus_max_batch < 1:
+            raise ValueError("bus_max_batch must be >= 1")
         if backend == "process" and clock is not None and not isinstance(
             clock, WallClock
         ):
@@ -455,6 +500,7 @@ class MatchGateway:
                 mp_context=multiprocessing.get_context("fork"),
             )
             self._shared_evaluator = None
+            self._bus = None
         else:
             ensure_plan(getattr(self.evaluator, "network", None))
             self._executor = executor if executor is not None else (
@@ -462,10 +508,30 @@ class MatchGateway:
                     max_workers=workers, thread_name_prefix="gateway-search"
                 )
             )
+            # the cross-session bus fuses cache *misses* from all live
+            # sessions into shared accelerator batches; the LRU cache
+            # sits above it so hits never pay bus latency.  Sized to
+            # max_inflight: the gateway never admits more concurrent
+            # searches than that, so no larger batch can ever fill.
+            self._bus: EvaluationBus | None = None
+            base: Evaluator = self.evaluator
+            if evalbus or evalbus is None:
+                self._bus = EvaluationBus(
+                    self.evaluator,
+                    max_batch=(
+                        bus_max_batch
+                        if bus_max_batch is not None
+                        else self.max_inflight
+                    ),
+                    linger=bus_linger_ms / 1e3,
+                    deadline_lead_ms=bus_deadline_lead_ms,
+                    clock=self.clock,
+                )
+                base = BusEvaluator(self._bus)
             # sessions share one LRU evaluation cache: a position any
             # session has evaluated never reaches the network again
             self._shared_evaluator = CachingEvaluator(
-                self.evaluator, EvaluationCache(cache_capacity)
+                base, EvaluationCache(cache_capacity)
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -487,6 +553,10 @@ class MatchGateway:
         self._sessions.clear()
         if self._owns_executor:
             self._executor.shutdown(wait=True)
+        # after the executor drains: in-flight searches must be able to
+        # submit their last leaves before the bus refuses them
+        if self._bus is not None:
+            self._bus.close()
         if self._fork_key is not None:
             _FORK_REGISTRY.pop(self._fork_key, None)
             self._fork_key = None
@@ -881,9 +951,22 @@ class MatchGateway:
         else:
             agent = session.agent
             assert agent is not None
-            prior = await loop.run_in_executor(
-                self._executor, agent.get_action_prior, game, budget
-            )
+            if self._bus is not None:
+                # busy-headcount bracketing: the bus flushes a fused
+                # batch as soon as every *currently searching* session
+                # has a leaf pending, so the threshold tracks real
+                # concurrency instead of a static guess
+                self._bus.begin_search()
+                try:
+                    prior = await loop.run_in_executor(
+                        self._executor, agent.get_action_prior, game, budget
+                    )
+                finally:
+                    self._bus.end_search()
+            else:
+                prior = await loop.run_in_executor(
+                    self._executor, agent.get_action_prior, game, budget
+                )
         engine_action = int(np.argmax(prior))
         game.step(engine_action)
         session.moves += 1
@@ -902,6 +985,7 @@ class MatchGateway:
 
     # -- telemetry -----------------------------------------------------------
     def stats(self) -> GatewayStats:
+        bus = self._bus.stats() if self._bus is not None else None
         return GatewayStats(
             sessions_created=self._created,
             sessions_active=len(self._sessions),
@@ -923,6 +1007,12 @@ class MatchGateway:
             draining=self._draining,
             shard_id=self.shard_id,
             weights_version=self.weights_version,
+            bus_enabled=bus is not None,
+            bus_requests=bus.requests if bus else 0,
+            bus_batches=bus.batches if bus else 0,
+            bus_occupancy=bus.mean_occupancy if bus else 0.0,
+            bus_deadline_flushes=bus.deadline_flushes if bus else 0,
+            bus_linger_flushes=bus.linger_flushes if bus else 0,
         )
 
 

@@ -166,6 +166,74 @@ class TestQueueStress:
         assert not any(t.is_alive() for t in threads)
         assert len(errors) == 9
 
+    def test_set_batch_size_growth_regression(self):
+        """Raising the threshold must take effect exactly -- an early
+        version min-clamped growth away, so a gateway could never widen
+        its batches as sessions joined."""
+        q = AcceleratorQueue(UniformEvaluator(), batch_size=2, linger=0.5)
+        q.set_batch_size(4)
+        assert q.batch_size == 4
+        futures = [q.submit(TicTacToe()) for _ in range(3)]
+        # under the old clamp the threshold would still be 2 and the
+        # second submit would already have flushed
+        assert not any(f.done() for f in futures)
+        futures.append(q.submit(TicTacToe()))  # 4th meets the new threshold
+        assert all(f.done() for f in futures)
+        assert q.mean_batch_occupancy == 4.0
+
+    def test_linger_window_not_shattered_by_parked_waiters(self):
+        """The thundering-herd regression, pinned deterministically.
+
+        Six staggered producers fill the first threshold batch and then
+        park on its (slow) evaluation.  Historically each parked waiter
+        kept running a private ``linger`` timer and called ``flush()``
+        unconditionally on expiry, so the timers carpeted the timeline
+        and any *fresh* arrival during the in-flight evaluation was
+        flushed within milliseconds -- long before its own linger window
+        -- shattering D and E below into two singleton batches.  The
+        fixed queue arms one window from the oldest pending entry: D
+        (arriving 100 ms in) waits out its full 50 ms linger, E (30 ms
+        later) rides along, and the two fuse into one batch.
+        """
+        delay = 0.4  # first-batch evaluation: the window the herd spams
+        evaluator = SlowEvaluator(delay=delay)
+        batches: list[list[int]] = []
+        rec_lock = threading.Lock()
+        original = evaluator.evaluate_batch
+
+        def recording(games):
+            with rec_lock:
+                batches.append([id(g) for g in games])
+            return original(games)
+
+        evaluator.evaluate_batch = recording
+        q = AcceleratorQueue(evaluator, batch_size=6, linger=0.05)
+        game_ids: dict[str, int] = {}
+
+        def blocking(name: str, offset: float) -> None:
+            time.sleep(offset)
+            g = TicTacToe()
+            game_ids[name] = id(g)
+            q.evaluate_blocking(g)
+
+        specs = [(f"s{i}", 0.008 * i) for i in range(6)]
+        specs += [("D", 0.100), ("E", 0.130)]
+        threads = [
+            threading.Thread(target=blocking, args=spec) for spec in specs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads), "queue deadlocked"
+        assert any(
+            game_ids["D"] in b and game_ids["E"] in b for b in batches
+        ), f"herd shattered D and E into separate flushes: {batches}"
+        # [6, 2], never the herd's [6, 1, 1]
+        assert min(len(b) for b in batches) >= 2
+        assert q.mean_batch_occupancy >= 3.5
+        assert q.linger_flushes >= 1
+
     @pytest.mark.slow
     def test_sustained_storm_nightly(self):
         """Nightly-lane scale: more threads, more rounds, slower device."""
