@@ -102,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(default) or the float64 layer-by-layer reference forward; "
              "SGD always trains in float64",
     )
+    p_train.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save crash-safe training checkpoints under DIR (atomic "
+             "manifest commit, keep-last-3)",
+    )
+    p_train.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N iterations (default 1); the final "
+             "iteration is always checkpointed",
+    )
+    p_train.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir; "
+             "--episodes is then the *total* iteration target, so an "
+             "interrupted run restarted with the same command finishes "
+             "the remaining iterations (bit-identical to an uninterrupted "
+             "run for the serial / --workers 1 collection paths)",
+    )
 
     p_sp = sub.add_parser(
         "selfplay", help="multi-game batched self-play round (serving engine)"
@@ -187,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="play K concurrent engine-vs-engine demo sessions through "
              "the TCP client, print stats, and exit (0 = serve forever)",
     )
+    p_srv.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead journal live sessions under DIR; a restarted "
+             "gateway pointed at the same DIR re-admits every journaled "
+             "session at its exact position",
+    )
+    p_srv.add_argument(
+        "--journal-fsync", default="batched",
+        choices=["per-move", "batched", "off"],
+        help="journal durability: fsync every move, at most once per "
+             "50ms window (default), or never (page cache only)",
+    )
 
     p_cl = sub.add_parser(
         "cluster",
@@ -226,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--roll-weights", action="store_true",
         help="perform a zero-downtime weight rollout across the fleet "
              "while the demo plays (needs --evaluator network)",
+    )
+    p_cl.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="per-shard move journals + router placement journal under "
+             "DIR; failover prefers a dead shard's journal over the "
+             "router's in-memory shadow, and a restarted router re-adopts "
+             "journaled sessions",
+    )
+    p_cl.add_argument(
+        "--journal-fsync", default="batched",
+        choices=["per-move", "batched", "off"],
+        help="journal durability policy for shard + router journals",
     )
     return parser
 
@@ -330,14 +372,34 @@ def cmd_train(args) -> int:
         game, scheme, trainer, num_playouts=args.playouts, sgd_iterations=6,
         batch_size=64, rng=args.seed + 2, max_moves=max_moves, engine=engine,
     )
+    checkpoints = None
+    episodes = args.episodes
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        from repro.storage import CheckpointManager
+
+        checkpoints = CheckpointManager(args.checkpoint_dir)
+        if args.resume:
+            restored = pipeline.resume_from(checkpoints)
+            if restored:
+                print(f"resumed from checkpoint: {restored} iterations done, "
+                      f"network digest {pipeline.trainer.network.state_digest()[:12]}")
+            episodes = max(0, args.episodes - restored)
+            if episodes == 0:
+                print(f"nothing to do: checkpoint already at "
+                      f"{restored} >= {args.episodes} iterations")
     try:
         metrics = pipeline.run(
-            args.episodes,
+            episodes,
             on_episode=lambda i, m: print(
-                f"iteration {i + 1:3d}: episodes={m.episodes:4d} "
+                f"iteration {pipeline.iterations:3d}: episodes={m.episodes:4d} "
                 f"samples={m.samples_produced:4d} "
                 f"loss={m.loss_history[-1].total:.3f}"
             ),
+            checkpoints=checkpoints,
+            checkpoint_every=args.checkpoint_every,
         )
     finally:
         if scheme is not None:
@@ -346,6 +408,10 @@ def cmd_train(args) -> int:
             engine.close()
     print(f"throughput: {metrics.throughput:.2f} samples/s, "
           f"final loss {metrics.final_loss:.3f}")
+    if checkpoints is not None:
+        # the crash-resume smoke diffs this across interrupted vs straight
+        # runs -- keep the format stable
+        print(f"network digest: {pipeline.trainer.network.state_digest()}")
     if engine is not None:
         print(f"cache hit rate: {metrics.cache_hit_rate:.1%}, "
               f"mean batch occupancy: {metrics.mean_batch_occupancy:.2f}")
@@ -410,6 +476,8 @@ def cmd_serve(args) -> int:
         seed=args.seed + 1,
         evalbus={"auto": None, "on": True, "off": False}[args.evalbus],
         bus_linger_ms=args.bus_linger_ms,
+        journal_dir=args.journal_dir,
+        journal_fsync=args.journal_fsync,
     )
 
     async def demo_session(host: str, port: int) -> tuple[int, int]:
@@ -442,11 +510,29 @@ def cmd_serve(args) -> int:
             await client.aclose()
 
     async def run() -> int:
+        import signal
+
         server = GatewayServer(gateway, args.host, args.port)
         host, port = await server.start()
+        # hook signals BEFORE announcing readiness: a supervisor reacting
+        # to the printed lines may SIGTERM immediately
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked: list[int] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: Ctrl-C falls through to KeyboardInterrupt
         print(f"gateway listening on {host}:{port} "
               f"(backend={args.backend}, workers={args.workers}, "
-              f"deadline={args.deadline_ms:g}ms, playouts<={args.playouts})")
+              f"deadline={args.deadline_ms:g}ms, playouts<={args.playouts})",
+              flush=True)
+        stats = gateway.stats()
+        if stats.journal_enabled:
+            print(f"journal: {args.journal_dir} (fsync={args.journal_fsync}), "
+                  f"recovered {stats.journal_recovered} sessions", flush=True)
         try:
             if args.demo_games > 0:
                 results = await asyncio.gather(
@@ -459,9 +545,25 @@ def cmd_serve(args) -> int:
                 for key, value in gateway.stats().as_dict().items():
                     print(f"  {key:20s} {value}")
                 return 0
-            await server.serve_forever()
+            forever = asyncio.ensure_future(server.serve_forever())
+            stopped = asyncio.ensure_future(stop.wait())
+            await asyncio.wait(
+                {forever, stopped}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in (forever, stopped):
+                task.cancel()
+            if stopped.done() and not stopped.cancelled():
+                # graceful shutdown: quiesce in-flight moves, snapshot every
+                # live session to the journal, and leave a resumable log
+                exported = await gateway.export_sessions()
+                flushed = gateway.journal_shutdown(exported)
+                print(f"graceful shutdown: {len(exported)} live sessions "
+                      f"exported" + (", journal flushed" if flushed else ""),
+                      flush=True)
             return 0
         finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await server.aclose()
 
     try:
@@ -487,6 +589,8 @@ def cmd_cluster(args) -> int:
         num_playouts=args.playouts,
         workers=args.workers,
         evalbus={"auto": None, "on": True, "off": False}[args.evalbus],
+        journal_dir=args.journal_dir,
+        journal_fsync=args.journal_fsync,
     )
     router = ShardRouter.processes(
         args.shards,
@@ -554,16 +658,50 @@ def cmd_cluster(args) -> int:
               f"consistent={report.consistent}")
 
     async def run() -> int:
+        import signal
+
         await router.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked: list[int] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
         print(f"cluster up: {args.shards} shards "
               f"(evaluator={args.evaluator}, workers={args.workers}/shard, "
-              f"deadline={args.deadline_ms:g}ms)")
+              f"deadline={args.deadline_ms:g}ms)", flush=True)
+        if args.journal_dir is not None:
+            readopted = await router.recover_sessions()
+            print(f"journal: {args.journal_dir} "
+                  f"(fsync={args.journal_fsync}), re-adopted {readopted} "
+                  f"sessions from the placement journal", flush=True)
         try:
-            results = await asyncio.gather(
+            demo = asyncio.gather(
                 chaos(),
                 rollout(),
                 *[demo_session(i) for i in range(args.demo_games)],
             )
+            stopped = asyncio.ensure_future(stop.wait())
+            await asyncio.wait(
+                {demo, stopped}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stopped.done() and not stopped.cancelled() and not demo.done():
+                # graceful shutdown mid-demo: stop driving moves; the
+                # router journal already holds every placement + move, and
+                # aclose() (below) fsyncs and closes it
+                demo.cancel()
+                try:
+                    await demo
+                except asyncio.CancelledError:
+                    pass
+                print("graceful shutdown: demo cancelled, journals flushed "
+                      "on close", flush=True)
+                return 0
+            stopped.cancel()
+            results = await demo
             outcomes = results[2:]
             for i, (kind, moves) in enumerate(outcomes):
                 print(f"demo session {i + 1}: {kind} after {moves} moves")
@@ -584,6 +722,8 @@ def cmd_cluster(args) -> int:
             print("ok: zero accepted sessions lost")
             return 0
         finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await router.aclose()
 
     try:

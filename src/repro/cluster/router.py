@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import bisect
+import os
 from hashlib import blake2b
 from typing import Callable, Iterator
 
@@ -46,6 +47,7 @@ from repro.serving.service import (
     InvalidMove,
     SessionNotFound,
 )
+from repro.storage import SessionJournal, SessionReplay, replay_sessions
 from repro.utils.clock import WALL_CLOCK, Clock
 
 __all__ = ["HashRing", "ShardRouter", "ShardSlot", "SessionRecord"]
@@ -120,6 +122,7 @@ class SessionRecord:
         "status",
         "winner",
         "readmissions",
+        "recovered_replies",
     )
 
     def __init__(
@@ -135,6 +138,11 @@ class SessionRecord:
         self.status = "active"  # active | completed | resigned | lost
         self.winner: int | None = None
         self.readmissions = 0
+        #: replies recovered from a dead shard's journal for moves that
+        #: applied but whose confirmation never reached the router, keyed
+        #: by move_seq -- the client's retry is answered from here instead
+        #: of re-applying the move on the survivor
+        self.recovered_replies: dict[int, dict] = {}
 
 
 class ShardSlot:
@@ -163,6 +171,7 @@ class ShardSlot:
         self.sessions: set[int] = set()
         self.deduped_base = 0  # dedupes from dead epochs (shard counters reset)
         self.last_deduped = 0
+        self.journal_errors = 0  # current life's shard-side journal IO errors
 
     @property
     def alive(self) -> bool:
@@ -191,6 +200,8 @@ class ShardRouter:
         restart_limit: int = 2,
         respawn: bool = True,
         vnodes: int = 64,
+        journal_dir: str | None = None,
+        journal_fsync: str = "batched",
     ) -> None:
         if not specs:
             raise ValueError("need at least one shard spec")
@@ -239,6 +250,21 @@ class ShardRouter:
         self._restarts = 0
         self._rollouts = 0
         self._rollout_rejections = 0
+        self._sessions_recovered = 0
+        self._journal_preferred = 0
+        self._journal_replies_recovered = 0
+
+        # the router's own placement journal: which sessions exist and
+        # their shadow histories, so a full router restart can re-adopt
+        # the fleet's live sessions (defaults to the shards' base journal
+        # directory so one --journal-dir flag covers both layers)
+        if journal_dir is None:
+            journal_dir = specs[0].journal_dir
+        self._journal: SessionJournal | None = None
+        if journal_dir is not None:
+            self._journal = SessionJournal(
+                os.path.join(journal_dir, "router"), fsync=journal_fsync
+            )
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -288,6 +314,55 @@ class ShardRouter:
         self.monitor.start()
         return self
 
+    async def recover_sessions(self) -> int:
+        """Re-adopt sessions journaled by a previous router life.
+
+        Call after :meth:`start` when the router was restarted over an
+        existing ``--journal-dir``: every session the placement journal
+        records as open is re-admitted (same cluster id, shadow history
+        replayed onto whatever shard the ring now prefers) and counts
+        into ``sessions_recovered``.  Returns the number re-adopted; a
+        journal-less router returns 0.
+        """
+        if self._journal is None:
+            return 0
+        replays, _raw = replay_sessions(self._journal.directory)
+        recovered = 0
+        for sid in sorted(replays):
+            rep = replays[sid]
+            if not rep.open or rep.game is None or sid in self._records:
+                continue
+            record = SessionRecord(sid, rep.game, rep.size)
+            record.history = list(rep.history)
+            # any per-session-monotone value works for rid freshness: the
+            # restored placement gets a new remote id, so old rids cannot
+            # collide in any shard's reply cache
+            record.move_seq = len(rep.history)
+            self._next_sid = max(self._next_sid, sid + 1)
+            self._records[sid] = record
+            self._admitted += 1
+            try:
+                await self._place(record, record.history, planned=False)
+            except GatewayError:
+                continue  # loss accounted by _place
+            if record.status == "active":
+                recovered += 1
+                self._sessions_recovered += 1
+        self._event(
+            "router_recovered", f"{recovered} sessions re-adopted from journal"
+        )
+        # compact: one open record per surviving session
+        live = [
+            SessionReplay(
+                sid=r.session_id, game=r.game, size=r.size,
+                history=list(r.history),
+            )
+            for r in self._records.values()
+            if r.status == "active"
+        ]
+        self._journal.snapshot(live)
+        return recovered
+
     async def _spawn(self, slot: ShardSlot) -> None:
         epoch = slot.fence.current
         link = self._factory(slot.spec, epoch)
@@ -315,6 +390,8 @@ class ShardRouter:
             *(slot.link.aclose() for slot in self._slots if slot.link),
             return_exceptions=True,
         )
+        if self._journal is not None:
+            self._journal.close()
 
     # -- health / supervision -------------------------------------------------
     async def _ping_slot(self, slot: ShardSlot) -> None:
@@ -338,7 +415,11 @@ class ShardRouter:
             f"({slot.consecutive_failures} consecutive ping failures)",
         )
         dead = slot.link
+        dead_epoch: int | None = None
         if dead is not None:
+            # the corpse's journal lives under its epoch; capture before
+            # the fence bump renumbers the slot
+            dead_epoch = dead.epoch
             # fence first: the corpse's epoch is now stale everywhere
             slot.fence.bump()
             # the successor's dedupe counter restarts at zero; bank the
@@ -348,7 +429,7 @@ class ShardRouter:
             await dead.aclose()
             slot.link = None
         # move its sessions to survivors before spending time respawning
-        await self._failover_sessions(slot)
+        await self._failover_sessions(slot, dead_epoch)
         if self.respawn and not self._closed:
             if slot.restart_budget.spend():
                 slot.restarts += 1
@@ -367,17 +448,87 @@ class ShardRouter:
                     f"{slot.restart_budget.limit} restarts",
                 )
 
-    async def _failover_sessions(self, slot: ShardSlot) -> None:
+    def _read_dead_journal(
+        self, slot: ShardSlot, dead_epoch: int | None
+    ) -> dict[int, SessionReplay]:
+        """The dead shard life's journal, keyed by *remote* session id.
+
+        Returns ``{}`` when journaling is off or the log is unreadable --
+        failover then falls back to the in-memory shadow history, exactly
+        the pre-journal behaviour.
+        """
+        if dead_epoch is None:
+            return {}
+        path = slot.spec.journal_path(dead_epoch)
+        if path is None:
+            return {}
+        replays, _raw = replay_sessions(path)
+        return replays
+
+    async def _failover_sessions(
+        self, slot: ShardSlot, dead_epoch: int | None = None
+    ) -> None:
+        journal = self._read_dead_journal(slot, dead_epoch)
         doomed = sorted(slot.sessions)
         slot.sessions.clear()
         for sid in doomed:
             record = self._records.get(sid)
             if record is None or record.status != "active":
                 continue
+            self._adopt_journal(record, journal.get(record.remote_id))
             try:
                 await self._place(record, record.history, planned=False)
             except GatewayError:
                 continue  # _place already accounted the loss
+
+    def _adopt_journal(
+        self, record: SessionRecord, rep: SessionReplay | None
+    ) -> None:
+        """Prefer the dead shard's journaled history over the shadow.
+
+        The journal saw every move the shard *applied*; the shadow only
+        saw the ones whose replies made it back.  When the journal is
+        longer, the extra plies are applied-but-unconfirmed moves: adopt
+        the longer line (so the survivor replays the true position) and
+        stash each such move's journaled reply under its rid's move_seq,
+        WITHOUT advancing ``move_seq`` -- the client's retry of that seq
+        is then answered from :attr:`SessionRecord.recovered_replies`
+        instead of double-applying the move on the survivor.
+        """
+        if rep is None or not rep.open:
+            return
+        if len(rep.history) <= len(record.history):
+            return
+        if rep.history[: len(record.history)] != record.history:
+            return  # journal disagrees with confirmed prefix: distrust it
+        shadow_plies = len(record.history)
+        record.history = list(rep.history)
+        self._journal_preferred += 1
+        self._event(
+            "journal_preferred",
+            f"session {record.session_id}: journal has "
+            f"{len(rep.history)} plies vs shadow {shadow_plies}",
+        )
+        prefix = f"{record.session_id}."
+        for move in rep.moves:
+            rid = move.get("rid")
+            if not isinstance(rid, str) or not rid.startswith(prefix):
+                continue
+            try:
+                seq = int(rid[len(prefix):])
+            except ValueError:
+                continue
+            if seq >= record.move_seq:
+                record.recovered_replies[seq] = {
+                    "engine_action": move.get("engine"),
+                    "done": bool(move.get("done")),
+                    "winner": move.get("winner"),
+                }
+        if self._journal is not None:
+            # supersede the router journal's view with the adopted line
+            self._journal.open_session(
+                record.session_id, record.game, record.size, record.history
+            )
 
     # -- placement / relocation -----------------------------------------------
     def _eligible(self) -> set[int]:
@@ -425,6 +576,8 @@ class ShardRouter:
                     "relocate_terminal",
                     f"session {sid} finished during restore on shard {index}",
                 )
+                if self._journal is not None:
+                    self._journal.close_session(sid, "completed")
                 return
             record.shard_index = index
             record.remote_id = int(reply["session"])
@@ -446,6 +599,8 @@ class ShardRouter:
         self._lost += 1
         self._relocation_failures += 1
         self._event("session_lost", f"session {sid}: no surviving shard")
+        if self._journal is not None:
+            self._journal.close_session(sid, "lost")
         raise GatewayConnectionError(
             f"session {sid} could not be re-admitted: no surviving shard"
         )
@@ -522,9 +677,46 @@ class ShardRouter:
             slot.sessions.add(sid)
             self._admitted += 1
             self._event("admit", f"session {sid} -> shard {index}")
+            if self._journal is not None:
+                self._journal.open_session(sid, game, size, [])
             return sid
         self._rejected += 1
         raise last_error or GatewayOverloaded("no healthy shard available")
+
+    def _answer_recovered(self, record: SessionRecord, recovered: dict) -> dict:
+        """Answer a retried move from a dead shard's journaled reply.
+
+        The move already applied on the shard that died (its actions are
+        in the adopted history); re-sending it to the survivor would
+        double-apply.  The reply is synthesized from the journal record
+        -- no search runs, no history is appended.
+        """
+        sid = record.session_id
+        record.move_seq += 1
+        self._journal_replies_recovered += 1
+        self._moves += 1
+        done = bool(recovered.get("done"))
+        if done and record.status == "active":
+            record.status = "completed"
+            record.winner = recovered.get("winner")
+            if 0 <= record.shard_index < len(self._slots):
+                self._slots[record.shard_index].sessions.discard(sid)
+            record.shard_index = -1
+            self._completed += 1
+            if self._journal is not None:
+                self._journal.close_session(sid, "completed")
+        self._event(
+            "reply_recovered",
+            f"session {sid} move {record.move_seq - 1} answered from journal",
+        )
+        return {
+            "ok": True,
+            "session": sid,
+            "engine_action": recovered.get("engine_action"),
+            "done": done,
+            "winner": recovered.get("winner"),
+            "recovered": True,
+        }
 
     async def play_move(
         self,
@@ -538,10 +730,22 @@ class ShardRouter:
         retry *and* every relocation, so it applies exactly once on
         whichever shard finally serves it.
         """
+        record = self._records.get(session_id)
+        if record is not None and record.recovered_replies:
+            recovered = record.recovered_replies.pop(record.move_seq, None)
+            if recovered is not None:
+                return self._answer_recovered(record, recovered)
         record = self._require(session_id)
         rid = f"{session_id}.{record.move_seq}"
         t0 = self.clock.monotonic()
         for _ in range(len(self._slots) + 1):
+            if record.recovered_replies:
+                # a failover adopted the dead shard's journal while this
+                # move was mid-retry: the move already applied there, so
+                # answer from the journaled reply instead of re-sending
+                recovered = record.recovered_replies.pop(record.move_seq, None)
+                if recovered is not None:
+                    return self._answer_recovered(record, recovered)
             if record.shard_index < 0 or not self._slots[record.shard_index].usable:
                 await self._place(record, record.history, planned=False)
             slot = self._slots[record.shard_index]
@@ -567,17 +771,27 @@ class ShardRouter:
                     continue
                 raise self._typed_error(reply)
             # success: extend the shadow history with confirmed actions
+            applied: list[int] = []
             if action is not None:
-                record.history.append(int(action))
+                applied.append(int(action))
             engine_action = reply.get("engine_action")
             if engine_action is not None:
-                record.history.append(int(engine_action))
+                applied.append(int(engine_action))
+            record.history.extend(applied)
             record.move_seq += 1
             elapsed = self.clock.monotonic() - t0
             slot.latency.record(elapsed)
             self.latency.record(elapsed)
             self._moves += 1
-            if reply.get("done"):
+            done = bool(reply.get("done"))
+            if self._journal is not None:
+                self._journal.move(
+                    session_id, rid, applied, engine_action, done,
+                    reply.get("winner"),
+                )
+                if done:
+                    self._journal.close_session(session_id, "completed")
+            if done:
                 record.status = "completed"
                 record.winner = reply.get("winner")
                 slot.sessions.discard(session_id)
@@ -589,6 +803,8 @@ class ShardRouter:
         record.shard_index = -1
         self._lost += 1
         self._event("session_lost", f"session {session_id}: retries exhausted")
+        if self._journal is not None:
+            self._journal.close_session(session_id, "lost")
         raise GatewayConnectionError(
             f"session {session_id}: no shard could serve move {rid}"
         )
@@ -613,6 +829,8 @@ class ShardRouter:
         record.status = "resigned"
         record.shard_index = -1
         self._resigned += 1
+        if self._journal is not None:
+            self._journal.close_session(session_id, "resigned")
         return "resigned"
 
     # -- draining (used directly and by rollout) ------------------------------
@@ -646,6 +864,10 @@ class ShardRouter:
             # were lost and never retried, which the shadow cannot know
             record.history = [int(a) for a in item.get("actions", [])]
             record.shard_index = -1
+            if self._journal is not None:
+                self._journal.open_session(
+                    record.session_id, record.game, record.size, record.history
+                )
             try:
                 await self._place(record, record.history, planned=True)
                 moved += 1
@@ -704,6 +926,7 @@ class ShardRouter:
             stats = reply.get("stats", {})
             slot.last_deduped = int(stats.get("deduped_replies", 0))
             slot.weights_version = stats.get("weights_version")
+            slot.journal_errors = int(stats.get("journal_errors", 0))
 
     def stats(self) -> ClusterStats:
         active = sum(
@@ -750,5 +973,10 @@ class ShardRouter:
             latency_p95_ms=self.latency.percentile(95) * 1e3,
             latency_p99_ms=self.latency.percentile(99) * 1e3,
             latency_mean_ms=self.latency.mean * 1e3,
+            sessions_recovered=self._sessions_recovered,
+            journal_preferred=self._journal_preferred,
+            journal_replies_recovered=self._journal_replies_recovered,
+            journal_errors=sum(s.journal_errors for s in self._slots)
+            + (self._journal.io_errors if self._journal is not None else 0),
             shards=snapshots,
         )

@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing as mp
+import os
 from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
@@ -74,10 +75,26 @@ class ShardSpec:
     #: gets its *own* bus -- shared-nothing extends to the batch queue
     evalbus: bool | None = None
     bus_linger_ms: float = 2.0
+    #: base directory for durable per-session move journals (``None``
+    #: journals nothing).  Each shard *life* writes under its own
+    #: ``shard-{id}/epoch-{e}`` subdirectory: a respawned successor
+    #: starts a fresh log (its predecessor's sessions were failed over),
+    #: while the corpse's log stays readable for the router's
+    #: journal-preferring failover.
+    journal_dir: str | None = None
+    journal_fsync: str = "batched"
     extra: dict = field(default_factory=dict, compare=False)
 
     def with_shard_id(self, shard_id: int) -> "ShardSpec":
         return replace(self, shard_id=shard_id)
+
+    def journal_path(self, epoch: int) -> str | None:
+        """This shard life's journal directory (``None`` = journaling off)."""
+        if self.journal_dir is None:
+            return None
+        return os.path.join(
+            self.journal_dir, f"shard-{self.shard_id}", f"epoch-{epoch}"
+        )
 
     def build_gateway(
         self,
@@ -123,6 +140,8 @@ class ShardSpec:
             evalbus=self.evalbus,
             bus_linger_ms=self.bus_linger_ms,
             shard_id=f"shard-{self.shard_id}",
+            journal_dir=self.journal_path(epoch),
+            journal_fsync=self.journal_fsync,
         )
 
 

@@ -90,6 +90,18 @@ class ClusterStats:
     latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    # durable-state counters (defaults keep journal-less fleets unchanged)
+    #: sessions re-adopted from the router's placement journal after a
+    #: full router restart
+    sessions_recovered: int = 0
+    #: failovers that adopted a dead shard's on-disk journal history over
+    #: the router's in-memory shadow (the journal knew more)
+    journal_preferred: int = 0
+    #: retried moves answered from a dead shard's journaled reply instead
+    #: of being re-applied
+    journal_replies_recovered: int = 0
+    #: shard-side journal IO errors observed via stats refresh
+    journal_errors: int = 0
     shards: tuple[ShardSnapshot, ...] = field(default=())
 
     def check_accounting(self) -> None:
@@ -132,5 +144,9 @@ class ClusterStats:
             "latency_p95_ms": round(self.latency_p95_ms, 3),
             "latency_p99_ms": round(self.latency_p99_ms, 3),
             "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "sessions_recovered": self.sessions_recovered,
+            "journal_preferred": self.journal_preferred,
+            "journal_replies_recovered": self.journal_replies_recovered,
+            "journal_errors": self.journal_errors,
             "shards": [s.as_dict() for s in self.shards],
         }

@@ -200,6 +200,28 @@ class Module:
             setattr(owner, name, tensor.astype(current.dtype, copy=True))
         self.bump_weights_version()
 
+    def state_digest(self) -> str:
+        """BLAKE2b fingerprint of every parameter *and* buffer.
+
+        One short hex string that is equal iff two modules hold
+        bit-identical weights (dtype, shape and bytes of the p-keys and
+        the BN running-stat b-keys alike).  The crash-resume smoke
+        compares resumed-vs-uninterrupted runs with it, and checkpoint
+        states embed it so a restore can assert the decoded weights are
+        the ones the manifest promised.
+        """
+        from hashlib import blake2b
+
+        h = blake2b(digest_size=16)
+        state = self.state_dict()
+        for name in sorted(state):
+            arr = np.ascontiguousarray(state[name])
+            h.update(name.encode())
+            h.update(arr.dtype.str.encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
 
 class Linear(Module):
     """Fully-connected layer ``y = x @ W.T + b``."""

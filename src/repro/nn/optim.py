@@ -91,6 +91,52 @@ class Optimizer:
     def _apply(self, lr: float) -> None:
         raise NotImplementedError
 
+    # -- checkpointing ---------------------------------------------------------
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        """Per-parameter moment buffers to persist (momentum, Adam m/v)."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """JSON-able optimiser state: step counter + moment buffers.
+
+        Resuming an Adam run without its moments silently restarts the
+        bias correction and forgets the gradient history -- weights then
+        diverge from the uninterrupted run on the first post-resume
+        step, which is exactly what crash-resume must not do.
+        """
+        from repro.utils.wire import encode_array
+
+        return {
+            "steps": int(self.steps),
+            "slots": {
+                name: [encode_array(buf) for buf in buffers]
+                for name, buffers in self._slot_arrays().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.wire import decode_array
+
+        slots = self._slot_arrays()
+        encoded = state.get("slots", {})
+        for name, buffers in slots.items():
+            entries = encoded.get(name)
+            if entries is None or len(entries) != len(buffers):
+                raise ValueError(
+                    f"optimizer state is missing slot {name!r} "
+                    f"({0 if entries is None else len(entries)} buffers, "
+                    f"need {len(buffers)})"
+                )
+            for i, (buf, entry) in enumerate(zip(buffers, entries)):
+                restored = decode_array(entry, f"{name}[{i}]")
+                if restored.shape != buf.shape:
+                    raise ValueError(
+                        f"optimizer slot {name}[{i}]: shape "
+                        f"{restored.shape} != parameter shape {buf.shape}"
+                    )
+                buf[...] = restored
+        self.steps = int(state.get("steps", 0))
+
 
 class SGD(Optimizer):
     """SGD with optional momentum and decoupled weight decay."""
@@ -111,6 +157,9 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in parameters]
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity} if self.momentum else {}
 
     def _apply(self, lr: float) -> None:
         for p, v in zip(self.parameters, self._velocity):
@@ -145,6 +194,9 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in parameters]
         self._v = [np.zeros_like(p.data) for p in parameters]
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
 
     def _apply(self, lr: float) -> None:
         b1, b2 = self.betas

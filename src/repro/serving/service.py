@@ -39,6 +39,7 @@ import asyncio
 import enum
 import itertools
 import json
+import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -54,6 +55,7 @@ from repro.nn.infer import ensure_plan
 from repro.serving.cache import CachingEvaluator, EvaluationCache
 from repro.serving.engine import LatencyTracker
 from repro.serving.evalbus import BusEvaluator, EvaluationBus
+from repro.storage import SessionJournal, SessionReplay, replay_sessions
 from repro.utils.clock import (
     WALL_CLOCK,
     Clock,
@@ -141,6 +143,24 @@ def build_game(name: str, size: int | None = None) -> Game:
         return make_game(name, size)
     except ValueError as exc:
         raise GatewayError(str(exc)) from exc
+
+
+_WIRE_GAME_NAMES = {
+    "TicTacToe": "tictactoe",
+    "ConnectFour": "connect4",
+    "Gomoku": "gomoku",
+}
+
+
+def game_wire_name(game: Game) -> tuple[str | None, int | None]:
+    """Invert :func:`build_game` for journaling: ``(name, size)`` such
+    that ``build_game(name, size)`` rebuilds an equivalent fresh game, or
+    ``(None, None)`` for games outside the wire registry (synthetic
+    fixtures) -- their sessions are served but not recoverable."""
+    name = _WIRE_GAME_NAMES.get(type(game).__name__)
+    if name == "gomoku":
+        return name, int(game.board_shape[0])
+    return name, None
 
 
 class SessionStatus(str, enum.Enum):
@@ -242,6 +262,14 @@ class GatewayStats:
     bus_occupancy: float = 0.0
     bus_deadline_flushes: int = 0
     bus_linger_flushes: int = 0
+    # durable-state fields (zero/False when journaling is off, so
+    # journal-less gateways and old stats consumers are unchanged)
+    journal_enabled: bool = False
+    journal_fsync: str | None = None
+    journal_records: int = 0
+    journal_errors: int = 0
+    journal_recovered: int = 0
+    journal_unrecoverable: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -271,6 +299,12 @@ class GatewayStats:
             "bus_occupancy": round(self.bus_occupancy, 3),
             "bus_deadline_flushes": self.bus_deadline_flushes,
             "bus_linger_flushes": self.bus_linger_flushes,
+            "journal_enabled": self.journal_enabled,
+            "journal_fsync": self.journal_fsync,
+            "journal_records": self.journal_records,
+            "journal_errors": self.journal_errors,
+            "journal_recovered": self.journal_recovered,
+            "journal_unrecoverable": self.journal_unrecoverable,
         }
 
 
@@ -378,6 +412,21 @@ class MatchGateway:
     reply_cache_size : completed rid-tagged move replies retained for
         retry dedupe (see the ``request_id`` parameter of
         :meth:`play_move`).
+    journal_dir : directory for a durable per-session move journal
+        (``None``, the default, journals nothing -- behaviour is then
+        bit-identical to a journal-less gateway).  Every admission, every
+        completed move (with its idempotency rid and reply essentials)
+        and every close is appended as a checksummed WAL record;
+        :meth:`start` on a fresh gateway pointed at the same directory
+        replays the log and re-admits every session that was live at the
+        crash, at its exact position, with its original id.  IO failures
+        (ENOSPC above all) never take serving down: journaling degrades
+        to a no-op and ``journal_errors`` surfaces in stats.
+    journal_fsync : durability policy for the journal -- ``"per-move"``
+        (fsync every record: survives power loss), ``"batched"`` (flush
+        every record, fsync at most every 50 ms: survives SIGKILL,
+        bounds power-loss exposure, keeps fsync out of the latency
+        tail), or ``"off"`` (flush only: survives clean exits).
     """
 
     def __init__(
@@ -406,6 +455,8 @@ class MatchGateway:
         bus_deadline_lead_ms: float = 5.0,
         shard_id: str | None = None,
         reply_cache_size: int = 1024,
+        journal_dir: str | os.PathLike | None = None,
+        journal_fsync: str = "batched",
     ) -> None:
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -473,6 +524,17 @@ class MatchGateway:
         self._reply_cache_size = reply_cache_size
         self._inflight_rids: dict[tuple[int, str], asyncio.Future] = {}
 
+        # durable per-session move journal (None = journaling off).  A
+        # broken journal *directory* raises here -- that is a config
+        # error at startup; IO failures later merely degrade.
+        self._journal: SessionJournal | None = None
+        self._journal_recovered = 0
+        self._journal_unrecoverable = 0
+        self._journal_recovery_done = False
+        self._journal_muted = False  # True while recovery re-admits
+        if journal_dir is not None:
+            self._journal = SessionJournal(journal_dir, fsync=journal_fsync)
+
         # lifetime counters behind GatewayStats
         self._created = 0
         self._finished = 0
@@ -536,7 +598,10 @@ class MatchGateway:
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "MatchGateway":
-        """Spawn the idle-GC background task (idempotent)."""
+        """Recover journaled sessions (first call), then spawn the
+        idle-GC background task (idempotent)."""
+        if self._journal is not None and not self._journal_recovery_done:
+            self._recover_from_journal()
         if self._gc_task is None:
             self._gc_task = asyncio.create_task(self._gc_loop())
         return self
@@ -560,6 +625,8 @@ class MatchGateway:
         if self._fork_key is not None:
             _FORK_REGISTRY.pop(self._fork_key, None)
             self._fork_key = None
+        if self._journal is not None:
+            self._journal.close()
 
     async def __aenter__(self) -> "MatchGateway":
         return await self.start()
@@ -586,6 +653,8 @@ class MatchGateway:
             session.status = SessionStatus.EXPIRED
             self._sessions.pop(session.session_id, None)
             self._expired += 1
+            if self._journal is not None:
+                self._journal.close_session(session.session_id, "expired")
         return [s.session_id for s in stale]
 
     # -- draining (cluster control plane) -------------------------------------
@@ -620,14 +689,46 @@ class MatchGateway:
                 session.status = SessionStatus.DRAINED
                 self._sessions.pop(session.session_id, None)
                 self._drained += 1
+                if self._journal is not None:
+                    # a drained session relocates; a crash here must not
+                    # resurrect it on this shard
+                    self._journal.close_session(session.session_id, "drained")
+                name, size = game_wire_name(session.game)
                 exported.append(
                     {
                         "session": session.session_id,
                         "moves": session.moves,
                         "actions": list(session.history),
+                        "game": name,
+                        "size": size,
                     }
                 )
         return exported
+
+    def journal_shutdown(self, exported: list[dict]) -> bool:
+        """Persist *exported* rows (from :meth:`export_sessions`) as the
+        journal's snapshot, so a restart recovers every one of them.
+
+        This is the graceful-shutdown (SIGTERM) flow: export finishes
+        in-flight moves and closes the sessions, then this compaction
+        rewrites the log as one ``open``-with-history record per exported
+        session -- superseding the ``drained`` closes export just wrote.
+        Returns False when journaling is off or degraded.
+        """
+        if self._journal is None:
+            return False
+        replays = [
+            SessionReplay(
+                sid=int(row["session"]),
+                game=row.get("game"),
+                size=row.get("size"),
+                history=[int(a) for a in row.get("actions", [])],
+            )
+            for row in exported
+        ]
+        ok = self._journal.snapshot(replays)
+        self._journal.sync()
+        return ok
 
     def load_weights(self, encoded_state: dict) -> int:
         """Install a new checkpoint (``load_weights`` control RPC).
@@ -732,7 +833,12 @@ class MatchGateway:
                 f"session table full ({self.max_sessions} active)"
             )
 
-    def _admit(self, state: Game, history: list[int] | None) -> int:
+    def _admit(
+        self,
+        state: Game,
+        history: list[int] | None,
+        session_id: int | None = None,
+    ) -> int:
         template = self.game_template
         if template is not None and (
             type(state) is not type(template)
@@ -753,8 +859,13 @@ class MatchGateway:
                 rng=self.rng.spawn(1)[0],
                 tree_backend=self.tree_backend,
             )
-        session_id = self._next_session_id
-        self._next_session_id += 1
+        if session_id is None:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+        else:
+            # journal recovery re-admits under the *original* id; ids
+            # stay monotonic and never reused across the restart
+            self._next_session_id = max(self._next_session_id, session_id + 1)
         self._sessions[session_id] = _Session(
             session_id,
             state,
@@ -764,6 +875,9 @@ class MatchGateway:
             history=history,
         )
         self._created += 1
+        if self._journal is not None and not self._journal_muted:
+            name, size = game_wire_name(state)
+            self._journal.open_session(session_id, name, size, history or [])
         return session_id
 
     def _get(self, session_id: int) -> _Session:
@@ -783,6 +897,8 @@ class MatchGateway:
             session.status = SessionStatus.RESIGNED
             self._sessions.pop(session_id, None)
             self._resigned += 1
+            if self._journal is not None:
+                self._journal.close_session(session_id, "resigned")
         return session.status
 
     # -- moves ---------------------------------------------------------------
@@ -817,7 +933,7 @@ class MatchGateway:
         time it is (the historic ``perf_counter``-vs-``monotonic`` mix).
         """
         if request_id is None:
-            return await self._play_move_once(session_id, action, deadline_ms)
+            return await self._play_move_once(session_id, action, deadline_ms, None)
         key = (session_id, str(request_id))
         cached = self._reply_cache.get(key)
         if cached is not None:
@@ -832,7 +948,9 @@ class MatchGateway:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight_rids[key] = future
         try:
-            reply = await self._play_move_once(session_id, action, deadline_ms)
+            reply = await self._play_move_once(
+                session_id, action, deadline_ms, str(request_id)
+            )
         except BaseException as exc:
             self._inflight_rids.pop(key, None)
             future.set_exception(exc)
@@ -852,6 +970,7 @@ class MatchGateway:
         session_id: int,
         action: int | None,
         deadline_ms: float | None,
+        rid: str | None = None,
     ) -> MoveReply:
         t0 = self.clock.monotonic()
         deadline = self.deadline_ms if deadline_ms is None else float(deadline_ms)
@@ -870,7 +989,9 @@ class MatchGateway:
             async with session.lock:
                 if session.status is not SessionStatus.ACTIVE:
                     raise SessionNotFound(f"no active session {session_id}")
-                reply = await self._play_move_locked(session, action, deadline, t0)
+                reply = await self._play_move_locked(
+                    session, action, deadline, t0, rid
+                )
         finally:
             self._inflight -= 1
         latency_ms = (self.clock.monotonic() - t0) * 1e3
@@ -892,6 +1013,36 @@ class MatchGateway:
         )
 
     async def _play_move_locked(
+        self,
+        session: _Session,
+        action: int | None,
+        deadline: float,
+        t0: float,
+        rid: str | None = None,
+    ) -> tuple[int | None, np.ndarray | None, bool, int | None]:
+        result = await self._apply_move_locked(session, action, deadline, t0)
+        if self._journal is not None:
+            # journal under the session lock, so records land in the same
+            # order the moves applied.  One record per *completed* logical
+            # move: a move that errors after partially applying is not
+            # journaled -- the journal may trail live state by at most the
+            # in-flight move, the same guarantee the cluster's shadow
+            # history gives.  The rid and reply essentials ride along so a
+            # survivor can answer a retry whose reply died with this shard.
+            engine_action, _prior, done, winner = result
+            applied: list[int] = []
+            if action is not None:
+                applied.append(int(action))
+            if engine_action is not None:
+                applied.append(int(engine_action))
+            self._journal.move(
+                session.session_id, rid, applied, engine_action, done, winner
+            )
+            if done:
+                self._journal.close_session(session.session_id, "finished")
+        return result
+
+    async def _apply_move_locked(
         self,
         session: _Session,
         action: int | None,
@@ -983,6 +1134,54 @@ class MatchGateway:
         self._sessions.pop(session.session_id, None)
         self._finished += 1
 
+    # -- journal recovery ------------------------------------------------------
+    def _recover_from_journal(self) -> None:
+        """Re-admit every session the journal says was live at the crash.
+
+        Each open session's history is replayed through a fresh game
+        (legality-checked: a corrupt-but-checksum-valid record must not
+        admit an impossible position) and re-admitted under its
+        *original* id at its exact position.  Unreplayable sessions
+        (unknown game, illegal line) are counted, not fatal.  The log is
+        then snapshot-compacted so the next crash replays one record per
+        session instead of the full move history.
+        """
+        self._journal_recovery_done = True
+        assert self._journal is not None
+        replays, _raw = replay_sessions(self._journal.directory)
+        live: list[SessionReplay] = []
+        self._journal_muted = True
+        try:
+            for sid in sorted(replays):
+                rep = replays[sid]
+                if not rep.open:
+                    continue
+                if rep.game is None:
+                    self._journal_unrecoverable += 1
+                    continue
+                try:
+                    state = build_game(rep.game, rep.size)
+                    for ply, a in enumerate(rep.history):
+                        if state.is_terminal or not (
+                            0 <= a < state.action_size
+                            and bool(state.legal_mask()[a])
+                        ):
+                            raise GatewayError(
+                                f"illegal journaled action {a} at ply {ply}"
+                            )
+                        state.step(a)
+                except GatewayError:
+                    self._journal_unrecoverable += 1
+                    continue
+                if state.is_terminal:
+                    continue  # last journaled move ended the game
+                self._admit(state, history=rep.history, session_id=sid)
+                self._journal_recovered += 1
+                live.append(rep)
+        finally:
+            self._journal_muted = False
+        self._journal.snapshot(live)
+
     # -- telemetry -----------------------------------------------------------
     def stats(self) -> GatewayStats:
         bus = self._bus.stats() if self._bus is not None else None
@@ -1013,6 +1212,20 @@ class MatchGateway:
             bus_occupancy=bus.mean_occupancy if bus else 0.0,
             bus_deadline_flushes=bus.deadline_flushes if bus else 0,
             bus_linger_flushes=bus.linger_flushes if bus else 0,
+            journal_enabled=(
+                self._journal is not None and not self._journal.disabled
+            ),
+            journal_fsync=(
+                self._journal.fsync if self._journal is not None else None
+            ),
+            journal_records=(
+                self._journal.records_written if self._journal is not None else 0
+            ),
+            journal_errors=(
+                self._journal.io_errors if self._journal is not None else 0
+            ),
+            journal_recovered=self._journal_recovered,
+            journal_unrecoverable=self._journal_unrecoverable,
         )
 
 

@@ -1,0 +1,60 @@
+"""Durable state: atomic file replacement, write-ahead journals, checkpoints.
+
+Everything robust shipped before this package was in-memory -- the
+router's shadow histories, the gateway's reply cache, the training
+loop's weights -- so a process crash or host restart lost every live
+session and restarted training from iteration zero.  This package is
+the durability layer the serving and training stacks journal through:
+
+- :mod:`repro.storage.atomicio` -- crash-safe single-file replacement
+  (tmp + fsync + rename + directory fsync) and the typed
+  :class:`StorageError` hierarchy.
+- :mod:`repro.storage.journal` -- an append-only write-ahead log of
+  length-prefixed BLAKE2b-checksummed records with torn-tail detection
+  (a partial or corrupt final record is truncated, never fatal),
+  segment rotation, snapshot compaction, and a configurable fsync
+  policy (``per-move | batched | off``).  IO errors (ENOSPC above all)
+  degrade the writer to a no-op with a surfaced counter instead of
+  taking the caller down.
+- :mod:`repro.storage.sessionlog` -- the session-shaped schema both the
+  gateway's per-session move journal and the router's placement journal
+  speak: typed ``open`` / ``move`` / ``close`` events over a
+  :class:`~repro.storage.journal.JournalWriter`, plus the replay reader
+  recovery is built from.
+- :mod:`repro.storage.checkpoint` -- versioned training checkpoints
+  under a digest-verified manifest with keep-last-K retention; a
+  corrupt newest checkpoint falls back to the previous one instead of
+  failing the resume.
+"""
+
+from repro.storage.atomicio import (
+    CorruptionError,
+    StorageError,
+    atomic_write_bytes,
+    atomic_write_json,
+    fsync_dir,
+)
+from repro.storage.checkpoint import CheckpointManager
+from repro.storage.journal import (
+    FSYNC_POLICIES,
+    JournalReadResult,
+    JournalWriter,
+    read_journal,
+)
+from repro.storage.sessionlog import SessionJournal, SessionReplay, replay_sessions
+
+__all__ = [
+    "CheckpointManager",
+    "CorruptionError",
+    "FSYNC_POLICIES",
+    "JournalReadResult",
+    "JournalWriter",
+    "SessionJournal",
+    "SessionReplay",
+    "StorageError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "fsync_dir",
+    "read_journal",
+    "replay_sessions",
+]

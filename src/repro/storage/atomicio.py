@@ -1,0 +1,113 @@
+"""Crash-safe file replacement and the typed storage-error hierarchy.
+
+The one primitive everything here builds on: *readers never observe a
+half-written file*.  :func:`atomic_write_bytes` writes to a temporary
+sibling, fsyncs the data, renames over the target (atomic on POSIX),
+then fsyncs the directory so the rename itself survives a power cut.
+A crash at any point leaves either the old file or the new file --
+never a torn one -- plus at worst an orphaned ``*.tmp-*`` sibling,
+which the next writer sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "StorageError",
+    "CorruptionError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "fsync_dir",
+    "sweep_tmp_files",
+]
+
+#: suffix marker for in-flight writes; anything carrying it is garbage
+#: from a crashed writer and safe to delete
+TMP_MARKER = ".tmp-"
+
+
+class StorageError(Exception):
+    """Base failure of the durability layer (IO errors, bad layouts)."""
+
+
+class CorruptionError(StorageError):
+    """On-disk bytes fail their checksum or structural validation.
+
+    Raised only where corruption is *fatal* to the caller (a checkpoint
+    manifest that lies about its payload).  The journal reader never
+    raises it -- a corrupt journal tail is truncated and surfaced as a
+    count, because losing the torn tail is the WAL contract, not an
+    error.
+    """
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """fsync a directory so a rename/create inside it is durable.
+
+    Platforms (and some filesystems) that cannot fsync a directory fd
+    fail with EINVAL/EACCES/EISDIR -- treated as best-effort, not an
+    error, matching what databases do on those targets.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def sweep_tmp_files(directory: str | os.PathLike) -> int:
+    """Delete orphaned in-flight temporaries from crashed writers."""
+    removed = 0
+    try:
+        entries = list(os.scandir(directory))
+    except OSError:
+        return 0
+    for entry in entries:
+        if TMP_MARKER in entry.name:
+            try:
+                os.unlink(entry.path)
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, data: bytes, *, fsync: bool = True
+) -> None:
+    """Replace *path* with *data* atomically (tmp + fsync + rename +
+    directory fsync).  Raises :class:`StorageError` on IO failure, with
+    the temporary cleaned up."""
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}{TMP_MARKER}{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        if fsync:
+            fsync_dir(target.parent)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise StorageError(f"atomic write of {target} failed: {exc}") from exc
+
+
+def atomic_write_json(
+    path: str | os.PathLike, obj: object, *, fsync: bool = True
+) -> None:
+    """:func:`atomic_write_bytes` for a JSON document."""
+    data = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode()
+    atomic_write_bytes(path, data, fsync=fsync)

@@ -1,0 +1,188 @@
+"""Versioned, digest-verified training checkpoints with retention.
+
+One checkpoint = one directory ``step-<N>/`` holding:
+
+- ``state.json``    -- the caller's JSON state (arrays wire-encoded via
+  :mod:`repro.utils.wire`, which adds its own per-array digests);
+- ``MANIFEST.json`` -- format version, step, and the BLAKE2b digest +
+  size of every payload file.
+
+Both files are written through :func:`~repro.storage.atomicio`'s
+tmp+fsync+rename, and the manifest is written *last*: its presence is
+the commit point.  A crash mid-save leaves an uncommitted directory the
+next save sweeps; a bit-flip on disk fails the manifest digest and the
+loader falls back to the previous checkpoint instead of resuming from
+lies.  Retention keeps the newest *keep_last* committed checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.storage.atomicio import (
+    CorruptionError,
+    StorageError,
+    atomic_write_bytes,
+    atomic_write_json,
+    fsync_dir,
+)
+
+__all__ = ["CheckpointManager", "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = 1
+
+_STEP_PREFIX = "step-"
+_STATE_FILE = "state.json"
+_MANIFEST_FILE = "MANIFEST.json"
+
+
+def _file_digest(data: bytes) -> str:
+    return blake2b(data, digest_size=16).hexdigest()
+
+
+class CheckpointManager:
+    """Save/load checkpoints under one directory with keep-last-K."""
+
+    def __init__(self, directory: str | os.PathLike, *, keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        #: committed checkpoints skipped by :meth:`load_latest` because
+        #: their manifest or payload failed verification
+        self.corrupt_skipped = 0
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot create checkpoint dir {self.directory}: {exc}"
+            ) from exc
+
+    # -- layout ----------------------------------------------------------------
+    def _step_dir(self, step: int) -> Path:
+        return self.directory / f"{_STEP_PREFIX}{step:08d}"
+
+    def _step_dirs(self) -> list[tuple[int, Path]]:
+        out = []
+        try:
+            entries = list(os.scandir(self.directory))
+        except OSError:
+            return []
+        for entry in entries:
+            name = entry.name
+            if not (entry.is_dir() and name.startswith(_STEP_PREFIX)):
+                continue
+            try:
+                out.append((int(name[len(_STEP_PREFIX) :]), Path(entry.path)))
+            except ValueError:
+                continue
+        return sorted(out)
+
+    def steps(self) -> list[int]:
+        """Committed (manifest-bearing) checkpoint steps, ascending."""
+        return [
+            step
+            for step, path in self._step_dirs()
+            if (path / _MANIFEST_FILE).exists()
+        ]
+
+    # -- save ------------------------------------------------------------------
+    def save(self, step: int, state: dict) -> Path:
+        """Write checkpoint *step* atomically; returns its directory.
+
+        Raises :class:`StorageError` on IO failure -- a training loop
+        must know its durability is gone, unlike serving where the
+        journal degrades silently.
+        """
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        target = self._step_dir(step)
+        try:
+            target.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create {target}: {exc}") from exc
+        payload = json.dumps(state, separators=(",", ":")).encode()
+        atomic_write_bytes(target / _STATE_FILE, payload)
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "step": int(step),
+            "files": {
+                _STATE_FILE: {
+                    "bytes": len(payload),
+                    "blake2b": _file_digest(payload),
+                }
+            },
+        }
+        atomic_write_json(target / _MANIFEST_FILE, manifest)
+        fsync_dir(self.directory)
+        self._prune()
+        return target
+
+    def _prune(self) -> None:
+        committed = [
+            (step, path)
+            for step, path in self._step_dirs()
+            if (path / _MANIFEST_FILE).exists()
+        ]
+        keep = {path for _, path in committed[-self.keep_last :]}
+        newest_committed = committed[-1][0] if committed else None
+        for step, path in self._step_dirs():
+            if path in keep:
+                continue
+            if (path / _MANIFEST_FILE).exists():
+                shutil.rmtree(path, ignore_errors=True)
+            elif newest_committed is not None and step <= newest_committed:
+                # uncommitted debris from a crashed save that a later
+                # committed checkpoint has superseded
+                shutil.rmtree(path, ignore_errors=True)
+
+    # -- load ------------------------------------------------------------------
+    def _load_one(self, step: int, path: Path) -> dict:
+        try:
+            manifest = json.loads((path / _MANIFEST_FILE).read_bytes())
+        except (OSError, ValueError) as exc:
+            raise CorruptionError(f"{path}: unreadable manifest: {exc}") from exc
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise CorruptionError(
+                f"{path}: format {manifest.get('format')!r} != "
+                f"{CHECKPOINT_FORMAT}"
+            )
+        entry = (manifest.get("files") or {}).get(_STATE_FILE)
+        if not isinstance(entry, dict):
+            raise CorruptionError(f"{path}: manifest lists no state file")
+        try:
+            payload = (path / _STATE_FILE).read_bytes()
+        except OSError as exc:
+            raise CorruptionError(f"{path}: unreadable state: {exc}") from exc
+        if len(payload) != entry.get("bytes") or _file_digest(
+            payload
+        ) != entry.get("blake2b"):
+            raise CorruptionError(f"{path}: state digest mismatch")
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise CorruptionError(f"{path}: undecodable state: {exc}") from exc
+
+    def load(self, step: int) -> dict:
+        """Load a specific committed checkpoint; raises
+        :class:`CorruptionError` when it fails verification."""
+        return self._load_one(step, self._step_dir(step))
+
+    def load_latest(self) -> tuple[int, dict] | None:
+        """Newest checkpoint that verifies, or ``None`` when no committed
+        checkpoint loads.  Corrupt ones are skipped (and counted in
+        :attr:`corrupt_skipped`) so a damaged newest checkpoint falls
+        back to its predecessor instead of killing the resume."""
+        for step, path in reversed(self._step_dirs()):
+            if not (path / _MANIFEST_FILE).exists():
+                continue  # uncommitted: a crash mid-save, not corruption
+            try:
+                return step, self._load_one(step, path)
+            except CorruptionError:
+                self.corrupt_skipped += 1
+                continue
+        return None

@@ -1,0 +1,363 @@
+"""Append-only write-ahead log with checksummed records.
+
+Record wire format, per record::
+
+    [u32 little-endian payload length][16-byte BLAKE2b-128 of payload][payload]
+
+The digest makes every record self-validating, so the reader needs no
+trailing commit marker: a crash mid-append leaves a *torn tail* -- a
+truncated length/digest/payload -- which recovery detects and truncates
+(:func:`read_journal` and :meth:`JournalWriter`'s open-time repair).  A
+bit-flip anywhere surfaces as a digest mismatch at that record; every
+record *before* it is recovered intact, everything after is dropped and
+counted (record boundaries cannot be trusted past a corrupt length
+field).
+
+The log is a directory of numbered segments (``seg-00000001.wal`` ...).
+Appends go to the highest segment and roll to a fresh one past
+*segment_bytes*; :meth:`JournalWriter.compact` replaces the whole
+history with a snapshot (the caller serialises current state) in a new
+segment and deletes the old ones -- bounded disk, same replay result.
+
+Durability is a policy, not a constant:
+
+- ``per-move`` -- fsync after every append: a record returned is a
+  record on disk, survives SIGKILL and power loss.
+- ``batched`` -- flush to the OS after every append, fsync at most once
+  per *batch_interval_s* (piggybacked on appends): survives process
+  death (SIGKILL) from the flush, bounds power-loss exposure to the
+  interval, and keeps fsync latency out of the per-move tail.
+- ``off`` -- flush only: cheapest, survives a clean process exit.
+
+IO failures (ENOSPC above all) must not take serving down: the writer
+*degrades* -- the failed append is dropped, :attr:`JournalWriter.disabled`
+latches, :attr:`io_errors` counts, and every later append is a cheap
+no-op.  Callers surface the counter in their stats.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.storage.atomicio import StorageError, fsync_dir, sweep_tmp_files
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "JournalReadResult",
+    "JournalWriter",
+    "read_journal",
+]
+
+FSYNC_POLICIES = ("per-move", "batched", "off")
+
+_LEN = struct.Struct("<I")
+_DIGEST_SIZE = 16
+_HEADER = _LEN.size + _DIGEST_SIZE
+_SEG_PREFIX = "seg-"
+_SEG_SUFFIX = ".wal"
+
+
+def _digest(payload: bytes) -> bytes:
+    return blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+
+
+def _segment_path(directory: Path, index: int) -> Path:
+    return directory / f"{_SEG_PREFIX}{index:08d}{_SEG_SUFFIX}"
+
+
+def _segment_indices(directory: Path) -> list[int]:
+    indices = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX):
+            try:
+                indices.append(int(name[len(_SEG_PREFIX) : -len(_SEG_SUFFIX)]))
+            except ValueError:
+                continue
+    return sorted(indices)
+
+
+def _scan_segment(data: bytes) -> tuple[list[bytes], int, bool]:
+    """Parse one segment: ``(records, valid_prefix_bytes, clean)``.
+
+    *clean* is False when the segment ends in a torn or corrupt record;
+    *valid_prefix_bytes* is where a repairing writer should truncate.
+    """
+    records: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER:
+            return records, offset, False  # torn header
+        (length,) = _LEN.unpack_from(data, offset)
+        start = offset + _HEADER
+        if length > total - start:
+            return records, offset, False  # torn payload
+        payload = data[start : start + length]
+        if _digest(payload) != data[offset + _LEN.size : start]:
+            return records, offset, False  # corrupt record (bit flip)
+        records.append(payload)
+        offset = start + length
+    return records, offset, True
+
+
+@dataclass
+class JournalReadResult:
+    """Everything recovery learned from one journal directory."""
+
+    records: list[bytes] = field(default_factory=list)
+    segments: int = 0
+    #: bytes discarded past the first torn/corrupt record (0 = clean log)
+    dropped_bytes: int = 0
+    #: True when a torn tail or corrupt record cut the replay short
+    truncated: bool = False
+
+
+def read_journal(directory: str | os.PathLike) -> JournalReadResult:
+    """Replay a journal directory; never raises on corruption.
+
+    Records are returned in append order across segments.  Replay stops
+    at the first torn or corrupt record: everything before it is intact
+    by checksum, everything after it is unreachable (a corrupt length
+    field poisons all later framing) and is counted in
+    ``dropped_bytes``.
+    """
+    directory = Path(directory)
+    result = JournalReadResult()
+    indices = _segment_indices(directory)
+    for n, index in enumerate(indices):
+        try:
+            data = _segment_path(directory, index).read_bytes()
+        except OSError:
+            result.truncated = True
+            break
+        records, valid, clean = _scan_segment(data)
+        result.records.extend(records)
+        result.segments += 1
+        if not clean:
+            result.truncated = True
+            result.dropped_bytes += len(data) - valid
+            # later segments were written after the corrupt region; their
+            # records may depend on state the dropped records carried
+            for later in indices[n + 1 :]:
+                try:
+                    result.dropped_bytes += _segment_path(
+                        directory, later
+                    ).stat().st_size
+                except OSError:
+                    pass
+            break
+    return result
+
+
+class JournalWriter:
+    """Appender for one journal directory (single writer at a time).
+
+    Opening repairs the newest segment's torn tail in place (truncate to
+    the last valid record) and sweeps orphaned temporaries, then appends
+    continue where the last intact record left off.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        fsync: str = "batched",
+        segment_bytes: int = 1 << 20,
+        batch_interval_s: float = 0.05,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < _HEADER + 1:
+            raise ValueError("segment_bytes too small for a single record")
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.batch_interval_s = batch_interval_s
+        self.disabled = False
+        self.io_errors = 0
+        self.records_written = 0
+        self.rotations = 0
+        self.compactions = 0
+        self._fh = None
+        self._segment_index = 0
+        self._segment_size = 0
+        self._last_sync = time.monotonic()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            sweep_tmp_files(self.directory)
+            self._open_tail()
+        except OSError as exc:
+            raise StorageError(
+                f"cannot open journal at {self.directory}: {exc}"
+            ) from exc
+
+    def _open_tail(self) -> None:
+        indices = _segment_indices(self.directory)
+        if not indices:
+            self._segment_index = 1
+            self._fh = open(_segment_path(self.directory, 1), "ab")
+            self._segment_size = 0
+            fsync_dir(self.directory)
+            return
+        tail = indices[-1]
+        path = _segment_path(self.directory, tail)
+        data = path.read_bytes()
+        _, valid, clean = _scan_segment(data)
+        self._fh = open(path, "r+b")
+        if not clean:
+            self._fh.truncate(valid)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self._fh.seek(valid)
+        self._segment_index = tail
+        self._segment_size = valid
+
+    # -- appending -------------------------------------------------------------
+    def append(self, payload: bytes) -> bool:
+        """Append one record under the fsync policy.
+
+        Returns False (and counts the error) instead of raising when the
+        writer is disabled or the filesystem fails -- durability degrades,
+        serving does not.
+        """
+        if self.disabled:
+            return False
+        frame = _LEN.pack(len(payload)) + _digest(payload) + payload
+        try:
+            if self._segment_size + len(frame) > self.segment_bytes:
+                self._rotate()
+            self._fh.write(frame)
+            self._segment_size += len(frame)
+            if self.fsync == "per-move":
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            elif self.fsync == "batched":
+                self._fh.flush()
+                now = time.monotonic()
+                if now - self._last_sync >= self.batch_interval_s:
+                    os.fsync(self._fh.fileno())
+                    self._last_sync = now
+            else:  # "off"
+                self._fh.flush()
+        except (OSError, ValueError) as exc:  # ValueError: write on closed fh
+            self._degrade(exc)
+            return False
+        self.records_written += 1
+        return True
+
+    def _rotate(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._segment_index += 1
+        self._fh = open(
+            _segment_path(self.directory, self._segment_index), "ab"
+        )
+        self._segment_size = 0
+        fsync_dir(self.directory)
+        self.rotations += 1
+
+    def _degrade(self, exc: Exception) -> None:
+        self.disabled = True
+        self.io_errors += 1
+        try:
+            if self._fh is not None:
+                self._fh.close()
+        except OSError:
+            pass
+        self._fh = None
+
+    # -- durability points -----------------------------------------------------
+    def sync(self) -> bool:
+        """Force everything appended so far onto disk (shutdown flush)."""
+        if self.disabled or self._fh is None:
+            return False
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._last_sync = time.monotonic()
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        return True
+
+    def compact(self, snapshot_records: list[bytes]) -> bool:
+        """Replace the whole log with *snapshot_records* in a fresh segment.
+
+        The snapshot segment is written and fsynced *before* the old
+        segments are unlinked, so a crash mid-compaction leaves either
+        the old history or the new snapshot readable -- the reader
+        replays segments in order and the snapshot's records come last,
+        which for the session-log schema (open-with-history supersedes)
+        makes the overlap harmless.
+        """
+        if self.disabled:
+            return False
+        try:
+            old = [
+                i
+                for i in _segment_indices(self.directory)
+                if i <= self._segment_index
+            ]
+            self._fh.flush()
+            self._fh.close()
+            self._segment_index += 1
+            self._fh = open(
+                _segment_path(self.directory, self._segment_index), "ab"
+            )
+            self._segment_size = 0
+            for payload in snapshot_records:
+                frame = _LEN.pack(len(payload)) + _digest(payload) + payload
+                self._fh.write(frame)
+                self._segment_size += len(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            fsync_dir(self.directory)
+            for index in old:
+                try:
+                    os.unlink(_segment_path(self.directory, index))
+                except OSError:
+                    pass
+            fsync_dir(self.directory)
+        except (OSError, ValueError) as exc:
+            self._degrade(exc)
+            return False
+        self.records_written += len(snapshot_records)
+        self.compactions += 1
+        return True
+
+    def close(self) -> None:
+        """Final flush + fsync; the writer is unusable afterwards."""
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                if self.fsync != "off":
+                    os.fsync(self._fh.fileno())
+                self._fh.close()
+            except OSError:
+                self.io_errors += 1
+            self._fh = None
+        self.disabled = True
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JournalWriter({self.directory}, fsync={self.fsync!r}, "
+            f"seg={self._segment_index}, disabled={self.disabled})"
+        )

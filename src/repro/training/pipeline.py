@@ -15,6 +15,7 @@ without the paper's hardware.
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -22,10 +23,10 @@ import numpy as np
 from repro.games.base import Game
 from repro.nn.infer import ensure_plan
 from repro.training.dataset import ReplayBuffer, TrainingExample
-from repro.training.metrics import TrainingMetrics
+from repro.training.metrics import LossPoint, TrainingMetrics
 from repro.training.selfplay import play_episode
 from repro.training.trainer import Trainer
-from repro.utils.rng import new_rng
+from repro.utils.rng import new_rng, restore_rng_state, rng_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> selfplay)
     from repro.serving.engine import MultiGameSelfPlayEngine
@@ -166,6 +167,163 @@ class TrainingPipeline:
                 )
         self.engine = engine
         self.metrics = TrainingMetrics()
+        #: completed Algorithm-1 iterations (checkpoint step counter);
+        #: unlike ``metrics.episodes`` this counts *iterations*, which an
+        #: attached multi-game engine decouples from episode count
+        self.iterations = 0
+
+    # -- durable state (repro.storage checkpoints) ----------------------------
+    CHECKPOINT_STATE_FORMAT = 1
+
+    def state_dict(self) -> dict:
+        """Everything a bit-identical resume needs, JSON-able.
+
+        Captures network weights (including BN running-stat b-keys),
+        optimizer moments, the trainer/iteration counters, the replay
+        buffer's contents, the metrics accumulators, the virtual clock's
+        position, and -- the part that makes resume *exact* rather than
+        same-seed -- the stream position of every generator the
+        single-game collection path consumes (pipeline, buffer, scheme).
+        A multi-game engine's internal ladders are not captured: resume
+        is then best-effort (weights/optimizer/buffer restore exactly,
+        episode transcripts may diverge).
+        """
+        from repro.utils.wire import encode_array, encode_state
+
+        network = self.trainer.network
+        buffer_rows = [
+            [
+                encode_array(item.planes),
+                encode_array(item.policy),
+                float(item.value),
+            ]
+            for item in self.buffer._items
+        ]
+        state: dict = {
+            "format": self.CHECKPOINT_STATE_FORMAT,
+            "iterations": self.iterations,
+            "network": encode_state(network.state_dict()),
+            "network_digest": network.state_digest(),
+            "optimizer": self.trainer.optimizer.state_dict(),
+            "trainer_steps": int(self.trainer.steps),
+            "rng": rng_state(self.rng),
+            "buffer": {
+                "capacity": self.buffer.capacity,
+                "total_added": int(self.buffer.total_added),
+                "rng_shared": self.buffer.rng is self.rng,
+                "rng": None
+                if self.buffer.rng is self.rng
+                else rng_state(self.buffer.rng),
+                "items": buffer_rows,
+            },
+            "metrics": {
+                "samples_produced": self.metrics.samples_produced,
+                "search_time": self.metrics.search_time,
+                "train_time": self.metrics.train_time,
+                "episodes": self.metrics.episodes,
+                "cache_hits": self.metrics.cache_hits,
+                "cache_misses": self.metrics.cache_misses,
+                "eval_requests": self.metrics.eval_requests,
+                "eval_batches": self.metrics.eval_batches,
+                "loss_history": [
+                    [p.time, p.episode, p.step, p.total, p.value_loss, p.policy_loss]
+                    for p in self.metrics.loss_history
+                ],
+            },
+        }
+        scheme_rng = getattr(self.scheme, "rng", None)
+        if isinstance(scheme_rng, np.random.Generator):
+            state["scheme_rng"] = rng_state(scheme_rng)
+        if isinstance(self.clock, VirtualClock):
+            state["clock"] = {
+                "now": self.clock.now,
+                "last_search_duration": self.clock._last_search_duration,
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; raises ``ValueError`` on a
+        format or digest mismatch rather than resuming from lies."""
+        from repro.utils.wire import decode_array, decode_state
+
+        if state.get("format") != self.CHECKPOINT_STATE_FORMAT:
+            raise ValueError(
+                f"checkpoint state format {state.get('format')!r} != "
+                f"{self.CHECKPOINT_STATE_FORMAT}"
+            )
+        network = self.trainer.network
+        network.load_state_dict(decode_state(state["network"]))
+        expected = state.get("network_digest")
+        if expected is not None and network.state_digest() != expected:
+            raise ValueError(
+                "restored weights do not match the checkpoint's digest"
+            )
+        self.trainer.optimizer.load_state_dict(state["optimizer"])
+        self.trainer.steps = int(state["trainer_steps"])
+        restore_rng_state(self.rng, state["rng"])
+        scheme_state = state.get("scheme_rng")
+        scheme_rng = getattr(self.scheme, "rng", None)
+        if scheme_state is not None and isinstance(
+            scheme_rng, np.random.Generator
+        ):
+            restore_rng_state(scheme_rng, scheme_state)
+
+        buf = state["buffer"]
+        if buf["rng_shared"]:
+            # pipeline and buffer consumed ONE stream before the crash;
+            # re-link the objects or their draws interleave differently
+            self.buffer.rng = self.rng
+        elif buf.get("rng") is not None:
+            restore_rng_state(self.buffer.rng, buf["rng"])
+        self.buffer.capacity = int(buf["capacity"])
+        # deque maxlen is frozen at construction -- rebuild so eviction
+        # order matches the checkpointed capacity, not the constructor's
+        self.buffer._items = deque(
+            (
+                TrainingExample(
+                    planes=decode_array(planes, "planes"),
+                    policy=decode_array(policy, "policy"),
+                    value=float(value),
+                )
+                for planes, policy, value in buf["items"]
+            ),
+            maxlen=self.buffer.capacity,
+        )
+        self.buffer.total_added = int(buf["total_added"])
+
+        met = state["metrics"]
+        metrics = TrainingMetrics(
+            samples_produced=int(met["samples_produced"]),
+            search_time=float(met["search_time"]),
+            train_time=float(met["train_time"]),
+            episodes=int(met["episodes"]),
+            cache_hits=int(met["cache_hits"]),
+            cache_misses=int(met["cache_misses"]),
+            eval_requests=int(met["eval_requests"]),
+            eval_batches=int(met["eval_batches"]),
+        )
+        metrics.loss_history = [
+            LossPoint(
+                time=row[0],
+                episode=int(row[1]),
+                step=int(row[2]),
+                total=row[3],
+                value_loss=row[4],
+                policy_loss=row[5],
+            )
+            for row in met["loss_history"]
+        ]
+        self.metrics = metrics
+        clock_state = state.get("clock")
+        if clock_state is not None and isinstance(self.clock, VirtualClock):
+            self.clock.now = float(clock_state["now"])
+            self.clock._last_search_duration = float(
+                clock_state["last_search_duration"]
+            )
+        self.iterations = int(state["iterations"])
+        # stale compiled plan: the restored weights bumped the version,
+        # recompile outside the first episode's latency
+        ensure_plan(getattr(self.trainer, "network", None))
 
     def run_episode(self) -> None:
         """One data-collection step (an episode, or a multi-game round when
@@ -201,6 +359,10 @@ class TrainingPipeline:
                 else:
                     self.buffer.add(example)
 
+        self._sgd_stage()
+        self.iterations += 1
+
+    def _sgd_stage(self) -> None:
         if len(self.buffer) == 0 or self.sgd_iterations == 0:
             return
         t1 = time.perf_counter()
@@ -231,16 +393,48 @@ class TrainingPipeline:
         # when the engine re-syncs weights at the next round's start.
         ensure_plan(getattr(self.trainer, "network", None))
 
+    def resume_from(self, checkpoints) -> int:
+        """Restore the newest committed checkpoint from a
+        :class:`repro.storage.CheckpointManager`, if one exists.
+
+        Returns the iteration count restored (0 when starting fresh --
+        an empty or absent directory is a normal cold start, not an
+        error; a *corrupt* latest checkpoint is skipped in favour of its
+        predecessor by the manager itself).
+        """
+        loaded = checkpoints.load_latest()
+        if loaded is None:
+            return 0
+        _step, state = loaded
+        self.load_state_dict(state)
+        return self.iterations
+
     def run(
         self,
         episodes: int,
         on_episode: Callable[[int, TrainingMetrics], None] | None = None,
+        *,
+        checkpoints=None,
+        checkpoint_every: int = 1,
     ) -> TrainingMetrics:
-        """Run *episodes* full Algorithm-1 iterations."""
+        """Run *episodes* full Algorithm-1 iterations.
+
+        With *checkpoints* (a :class:`repro.storage.CheckpointManager`),
+        durably snapshot the full pipeline state every *checkpoint_every*
+        iterations and once more after the last -- a SIGKILL between
+        snapshots loses at most ``checkpoint_every - 1`` iterations and
+        resumes bit-identical from the survivor.
+        """
         if episodes < 1:
             raise ValueError("episodes must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         for i in range(episodes):
             self.run_episode()
+            if checkpoints is not None and self.iterations % checkpoint_every == 0:
+                checkpoints.save(self.iterations, self.state_dict())
             if on_episode is not None:
                 on_episode(i, self.metrics)
+        if checkpoints is not None and self.iterations % checkpoint_every != 0:
+            checkpoints.save(self.iterations, self.state_dict())
         return self.metrics

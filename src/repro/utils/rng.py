@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rngs", "seed_ladder", "keyed_rng", "RngMixin"]
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "seed_ladder",
+    "keyed_rng",
+    "rng_state",
+    "restore_rng_state",
+    "RngMixin",
+]
 
 
 def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -65,6 +73,53 @@ def keyed_rng(seed: int | None, *key: int) -> np.random.Generator:
     return np.random.default_rng(
         np.random.SeedSequence([0 if seed is None else seed, *key])
     )
+
+
+def _jsonify(value):
+    """numpy scalars/arrays inside a bit-generator state -> plain JSON."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": value.dtype.str}
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _unjsonify(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        return {k: _unjsonify(v) for k, v in value.items()}
+    return value
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Capture a generator's exact stream position as a JSON-able dict.
+
+    This is what makes crash-resume *bit-identical* rather than merely
+    same-seed: a checkpoint taken mid-run must restart every stochastic
+    consumer (sampling temperature draws, replay-buffer batches,
+    Dirichlet noise) at the exact draw it would have made next, not at
+    the ladder's rung zero.
+    """
+    return _jsonify(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a stream position captured by :func:`rng_state` in place.
+
+    Raises ``ValueError`` when *state* belongs to a different
+    bit-generator type than *rng* carries (numpy validates the
+    ``bit_generator`` field).
+    """
+    restored = _unjsonify(state)
+    if restored.get("bit_generator") != type(rng.bit_generator).__name__:
+        raise ValueError(
+            f"rng state is for {restored.get('bit_generator')!r}, generator "
+            f"uses {type(rng.bit_generator).__name__!r}"
+        )
+    rng.bit_generator.state = restored
 
 
 class RngMixin:

@@ -1,52 +1,80 @@
 """JSON-safe encoding of numpy state dicts for control-plane RPCs.
 
 The cluster's zero-downtime weight rollout ships full network state
-dicts over the gateway's newline-JSON wire (``load_weights`` op).  JSON
-has no binary type, so arrays travel as base64 of their C-contiguous
-bytes plus dtype/shape -- exact round trip, no float formatting loss,
-and the decoded arrays are fresh writable copies (``load_state_dict``
-copies again anyway, but nothing downstream may alias the transport
-buffer).
+dicts over the gateway's newline-JSON wire (``load_weights`` op), and
+the storage layer's checkpoints persist the same encoding to disk.
+JSON has no binary type, so arrays travel as base64 of their
+C-contiguous bytes plus dtype/shape -- exact round trip, no float
+formatting loss, and the decoded arrays are fresh writable copies
+(``load_state_dict`` copies again anyway, but nothing downstream may
+alias the transport buffer).
+
+Every encoded array carries a BLAKE2b digest of its raw bytes, so a
+corrupted payload -- a bit flip on disk, a mangled RPC -- fails loudly
+as a typed ``ValueError`` instead of loading silently-wrong weights.
+Legacy digest-free payloads (pre-digest peers, old checkpoints) still
+decode: the check only runs when the field is present.
 """
 
 from __future__ import annotations
 
 import base64
+from hashlib import blake2b
 
 import numpy as np
 
-__all__ = ["encode_state", "decode_state"]
+__all__ = ["encode_array", "decode_array", "encode_state", "decode_state"]
+
+_DIGEST_SIZE = 16
+
+
+def _digest(raw: bytes) -> str:
+    return blake2b(raw, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode one array as ``{dtype, shape, data, digest}``."""
+    arr = np.ascontiguousarray(array)
+    raw = arr.tobytes()
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(raw).decode("ascii"),
+        "digest": _digest(raw),
+    }
+
+
+def decode_array(entry: dict, name: str = "<array>") -> np.ndarray:
+    """Invert :func:`encode_array`; raises ``ValueError`` on malformed
+    entries or digest mismatch (the serving boundary turns that into a
+    400 reply, the storage layer into a failed checkpoint load)."""
+    try:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(d) for d in entry["shape"])
+        raw = base64.b64decode(entry["data"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed weight entry {name!r}: {exc}") from exc
+    expected = entry.get("digest")
+    if expected is not None and _digest(raw) != expected:
+        raise ValueError(
+            f"weight {name!r}: payload digest mismatch (corrupt transport "
+            f"or storage)"
+        )
+    array = np.frombuffer(raw, dtype=dtype)
+    if array.size != int(np.prod(shape, dtype=np.int64)):
+        raise ValueError(
+            f"weight {name!r}: payload holds {array.size} elements, "
+            f"shape {shape} wants {int(np.prod(shape, dtype=np.int64))}"
+        )
+    return array.reshape(shape).copy()
 
 
 def encode_state(state: dict[str, np.ndarray]) -> dict[str, dict]:
     """Encode a ``state_dict`` into a JSON-serialisable mapping."""
-    encoded = {}
-    for name, array in state.items():
-        arr = np.ascontiguousarray(array)
-        encoded[name] = {
-            "dtype": arr.dtype.str,
-            "shape": list(arr.shape),
-            "data": base64.b64encode(arr.tobytes()).decode("ascii"),
-        }
-    return encoded
+    return {name: encode_array(array) for name, array in state.items()}
 
 
 def decode_state(encoded: dict[str, dict]) -> dict[str, np.ndarray]:
-    """Invert :func:`encode_state`; raises ``ValueError`` on malformed
-    entries (the serving boundary turns that into a 400 reply)."""
-    state = {}
-    for name, entry in encoded.items():
-        try:
-            dtype = np.dtype(entry["dtype"])
-            shape = tuple(int(d) for d in entry["shape"])
-            raw = base64.b64decode(entry["data"])
-        except (KeyError, TypeError) as exc:
-            raise ValueError(f"malformed weight entry {name!r}: {exc}") from exc
-        array = np.frombuffer(raw, dtype=dtype)
-        if array.size != int(np.prod(shape, dtype=np.int64)):
-            raise ValueError(
-                f"weight {name!r}: payload holds {array.size} elements, "
-                f"shape {shape} wants {int(np.prod(shape, dtype=np.int64))}"
-            )
-        state[name] = array.reshape(shape).copy()
-    return state
+    """Invert :func:`encode_state`; raises ``ValueError`` on malformed or
+    corrupt entries (see :func:`decode_array`)."""
+    return {name: decode_array(entry, name) for name, entry in encoded.items()}

@@ -1,0 +1,250 @@
+"""Durable-state chaos: shard journals beat the router's shadow at
+failover, journaled replies answer orphaned retries, and a restarted
+router re-adopts its whole fleet from the placement journal."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ShardRouter, ShardSpec
+from repro.serving import InlineExecutor
+from repro.storage import read_journal
+
+pytestmark = pytest.mark.chaos
+
+
+def make_router(num_shards, journal_root, **kwargs):
+    base = ShardSpec(
+        shard_id=0, num_playouts=2, deadline_ms=50.0, gc_interval_s=60.0,
+        journal_dir=str(journal_root), journal_fsync="per-move",
+    )
+    kwargs.setdefault("health_interval_s", 60.0)  # tests drive faults directly
+    return ShardRouter.local(
+        num_shards, base, executor=InlineExecutor(), **kwargs
+    )
+
+
+async def _apply_unconfirmed_move(router, sid):
+    """Apply the session's next move directly at its shard: the shard
+    executes and journals it, but the router never sees the reply --
+    exactly the window a crash-during-reply leaves behind."""
+    record = router._records[sid]
+    slot = router._slots[record.shard_index]
+    rid = f"{sid}.{record.move_seq}"
+    reply = await slot.link.request(
+        {"op": "move", "session": record.remote_id, "action": None, "rid": rid}
+    )
+    assert reply["ok"]
+    return slot, reply
+
+
+def test_failover_prefers_dead_shards_journal_over_shadow(tmp_path):
+    async def main():
+        router = make_router(2, tmp_path)
+        await router.start()
+        try:
+            sid = await router.create_session("tictactoe")
+            await router.play_move(sid)  # one confirmed move
+            record = router._records[sid]
+            shadow_before = list(record.history)
+
+            slot, shard_reply = await _apply_unconfirmed_move(router, sid)
+            # the router's shadow is now one ply behind the shard's truth
+            assert len(record.history) == len(shadow_before)
+
+            slot.link.kill()
+            await router._on_unhealthy(slot)
+
+            stats = router.stats()
+            assert stats.journal_preferred == 1
+            assert stats.sessions_readmitted >= 1
+            # journal adopted: the extra ply is in the shadow now
+            assert record.history[: len(shadow_before)] == shadow_before
+            assert len(record.history) == len(shadow_before) + 1
+
+            # the client retries the orphaned move: answered from the
+            # journaled reply, NOT re-applied on the survivor
+            reply = await router.play_move(sid)
+            assert reply.get("recovered") is True
+            assert reply["engine_action"] == shard_reply["engine_action"]
+            stats = router.stats()
+            assert stats.journal_replies_recovered == 1
+
+            # play continues normally afterwards
+            if not reply["done"]:
+                nxt = await router.play_move(sid)
+                assert "recovered" not in nxt
+
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_lost == 0
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_torn_shard_journal_falls_back_to_shadow(tmp_path):
+    async def main():
+        router = make_router(2, tmp_path)
+        await router.start()
+        try:
+            sid = await router.create_session("tictactoe")
+            await router.play_move(sid)
+            record = router._records[sid]
+            shadow = list(record.history)
+
+            slot, _ = await _apply_unconfirmed_move(router, sid)
+            dead_epoch = slot.link.epoch
+            slot.link.kill()
+            # the unconfirmed move's record is torn on disk: checksums
+            # reject it, so failover must fall back to the shadow prefix
+            journal_dir = slot.spec.journal_path(dead_epoch)
+            segs = sorted(
+                p for p in Path(journal_dir).iterdir()
+                if p.name.endswith(".wal")
+            )
+            tail = segs[-1]
+            tail.write_bytes(tail.read_bytes()[:-5])
+            assert read_journal(journal_dir).truncated
+
+            await router._on_unhealthy(slot)
+            stats = router.stats()
+            assert stats.journal_preferred == 0
+            assert list(record.history) == shadow  # shadow, unchanged
+            # the orphaned move is genuinely lost with the torn record;
+            # the retry re-applies on the survivor, which is the correct
+            # at-least-once degradation when durability was cut short
+            reply = await router.play_move(sid)
+            assert "recovered" not in reply
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_lost == 0
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_router_restart_readopts_from_placement_journal(tmp_path):
+    async def main():
+        first = make_router(2, tmp_path)
+        await first.start()
+        sids = [await first.create_session("tictactoe") for _ in range(4)]
+        for sid in sids:
+            await first.play_move(sid)
+        histories = {sid: list(first._records[sid].history) for sid in sids}
+        # the whole process dies: shards and router together, no aclose
+        for slot in first._slots:
+            slot.link.kill()
+        first._journal._writer.sync()
+
+        second = make_router(2, tmp_path)
+        await second.start()
+        try:
+            recovered = await second.recover_sessions()
+            assert recovered == len(sids)
+            stats = second.stats()
+            assert stats.sessions_recovered == len(sids)
+            for sid in sids:
+                assert list(second._records[sid].history) == histories[sid]
+            # recovered sessions serve; new sessions never collide on id
+            reply = await second.play_move(sids[0])
+            assert reply["ok"]
+            fresh = await second.create_session("tictactoe")
+            assert fresh > max(sids)
+            stats = second.stats()
+            stats.check_accounting()
+            assert stats.sessions_lost == 0
+        finally:
+            await second.aclose()
+            await first.aclose()
+
+    asyncio.run(main())
+
+
+def test_completed_sessions_stay_completed_across_restart(tmp_path):
+    async def main():
+        first = make_router(1, tmp_path)
+        await first.start()
+        sid = await first.create_session("tictactoe")
+        while not (await first.play_move(sid))["done"]:
+            pass
+        first._journal._writer.sync()
+        for slot in first._slots:
+            slot.link.kill()
+
+        second = make_router(1, tmp_path)
+        await second.start()
+        try:
+            assert await second.recover_sessions() == 0
+            assert sid not in second._records
+        finally:
+            await second.aclose()
+            await first.aclose()
+
+    asyncio.run(main())
+
+
+def test_drained_relocation_journals_authoritative_history(tmp_path):
+    async def main():
+        router = make_router(2, tmp_path)
+        await router.start()
+        sids = [await router.create_session("tictactoe") for _ in range(4)]
+        for sid in sids:
+            await router.play_move(sid)
+        target = next(s.index for s in router._slots if s.sessions)
+        moved = await router.drain_shard(target, resume=True)
+        assert moved > 0
+        histories = {sid: list(router._records[sid].history) for sid in sids}
+        router._journal._writer.sync()
+        for slot in router._slots:
+            slot.link.kill()
+
+        second = make_router(2, tmp_path)
+        await second.start()
+        try:
+            assert await second.recover_sessions() == len(sids)
+            for sid in sids:
+                assert list(second._records[sid].history) == histories[sid]
+        finally:
+            await second.aclose()
+            await router.aclose()
+
+    asyncio.run(main())
+
+
+def test_journal_off_router_is_unchanged(tmp_path):
+    """No journal_dir: failover uses the shadow exactly as before, and
+    the durable-state counters stay zero."""
+
+    async def main():
+        base = ShardSpec(
+            shard_id=0, num_playouts=2, deadline_ms=50.0, gc_interval_s=60.0
+        )
+        router = ShardRouter.local(
+            2, base, executor=InlineExecutor(), health_interval_s=60.0
+        )
+        await router.start()
+        try:
+            sid = await router.create_session("tictactoe")
+            await router.play_move(sid)
+            record = router._records[sid]
+            slot = router._slots[record.shard_index]
+            slot.link.kill()
+            await router._on_unhealthy(slot)
+            reply = await router.play_move(sid)
+            assert reply["ok"]
+            stats = router.stats()
+            stats.check_accounting()
+            assert stats.sessions_lost == 0
+            assert stats.journal_preferred == 0
+            assert stats.sessions_recovered == 0
+            assert stats.journal_errors == 0
+        finally:
+            await router.aclose()
+
+    asyncio.run(main())

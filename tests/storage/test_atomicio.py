@@ -1,0 +1,66 @@
+"""Crash-safety primitives: atomic replace, tmp sweep, directory fsync."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.storage import (
+    StorageError,
+    atomic_write_bytes,
+    atomic_write_json,
+    fsync_dir,
+)
+from repro.storage.atomicio import TMP_MARKER, sweep_tmp_files
+
+
+def test_write_and_replace_roundtrip(tmp_path):
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"first")
+    assert target.read_bytes() == b"first"
+    atomic_write_bytes(target, b"second")
+    assert target.read_bytes() == b"second"
+    # no in-flight temporaries left behind on the happy path
+    assert [p for p in os.listdir(tmp_path) if TMP_MARKER in p] == []
+
+
+def test_write_json_is_canonical(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, {"b": 1, "a": [1, 2]})
+    # sorted keys + no whitespace: byte-stable across runs for digesting
+    assert target.read_bytes() == b'{"a":[1,2],"b":1}'
+    assert json.loads(target.read_bytes()) == {"a": [1, 2], "b": 1}
+
+
+def test_failed_write_leaves_old_content(tmp_path, monkeypatch):
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"old")
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(StorageError):
+        atomic_write_bytes(target, b"new")
+    monkeypatch.setattr(os, "replace", real_replace)
+    # the reader never sees a torn or half-replaced file
+    assert target.read_bytes() == b"old"
+    assert [p for p in os.listdir(tmp_path) if TMP_MARKER in p] == []
+
+
+def test_sweep_removes_only_crash_debris(tmp_path):
+    keep = tmp_path / "seg-00000001.wal"
+    keep.write_bytes(b"data")
+    debris = tmp_path / f"MANIFEST.json{TMP_MARKER}12345"
+    debris.write_bytes(b"half")
+    assert sweep_tmp_files(tmp_path) == 1
+    assert keep.exists()
+    assert not debris.exists()
+
+
+def test_fsync_dir_is_best_effort(tmp_path):
+    fsync_dir(tmp_path)  # must not raise
+    fsync_dir(tmp_path / "does-not-exist")  # missing dir: silently skipped

@@ -1,0 +1,86 @@
+"""Checkpoint manager: manifest commit point, corruption fallback,
+retention, crash-debris hygiene."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.storage import CheckpointManager, CorruptionError
+
+
+def test_save_load_roundtrip(tmp_path):
+    mgr = CheckpointManager(tmp_path)
+    state = {"iterations": 3, "weights": [1.5, -2.0]}
+    mgr.save(3, state)
+    assert mgr.steps() == [3]
+    assert mgr.load(3) == state
+    assert mgr.load_latest() == (3, state)
+
+
+def test_load_latest_empty_dir(tmp_path):
+    assert CheckpointManager(tmp_path).load_latest() is None
+
+
+def test_keep_last_retention(tmp_path):
+    mgr = CheckpointManager(tmp_path, keep_last=2)
+    for step in range(1, 6):
+        mgr.save(step, {"step": step})
+    assert mgr.steps() == [4, 5]
+    assert mgr.load_latest() == (5, {"step": 5})
+
+
+def test_corrupt_newest_falls_back_to_predecessor(tmp_path):
+    mgr = CheckpointManager(tmp_path)
+    mgr.save(1, {"step": 1})
+    mgr.save(2, {"step": 2})
+    # bit-rot in the newest payload: digest check must catch it
+    state = tmp_path / "step-00000002" / "state.json"
+    data = bytearray(state.read_bytes())
+    data[3] ^= 0x01
+    state.write_bytes(bytes(data))
+
+    assert mgr.load_latest() == (1, {"step": 1})
+    assert mgr.corrupt_skipped == 1
+    with pytest.raises(CorruptionError):
+        mgr.load(2)
+
+
+def test_lying_manifest_is_corruption(tmp_path):
+    mgr = CheckpointManager(tmp_path)
+    mgr.save(1, {"step": 1})
+    manifest = tmp_path / "step-00000001" / "MANIFEST.json"
+    doc = json.loads(manifest.read_bytes())
+    doc["files"]["state.json"]["blake2b"] = "00" * 16
+    manifest.write_bytes(json.dumps(doc).encode())
+    with pytest.raises(CorruptionError):
+        mgr.load(1)
+    assert mgr.load_latest() is None
+
+
+def test_uncommitted_save_is_invisible_then_swept(tmp_path):
+    mgr = CheckpointManager(tmp_path)
+    mgr.save(1, {"step": 1})
+    # simulate a crash between state.json and MANIFEST.json of step 2:
+    # the directory exists, the commit point does not
+    debris = tmp_path / "step-00000002"
+    debris.mkdir()
+    (debris / "state.json").write_bytes(b'{"step":2}')
+    assert mgr.steps() == [1]
+    assert mgr.load_latest() == (1, {"step": 1})
+    # the next committed save supersedes and sweeps the debris
+    mgr.save(3, {"step": 3})
+    assert not debris.exists()
+    assert mgr.load_latest() == (3, {"step": 3})
+
+
+def test_missing_checkpoint_dir_recreated(tmp_path):
+    mgr = CheckpointManager(tmp_path / "sub")
+    mgr.save(1, {"step": 1})
+    shutil.rmtree(tmp_path / "sub")
+    mgr2 = CheckpointManager(tmp_path / "sub")
+    assert mgr2.load_latest() is None
+    mgr2.save(1, {"step": 1})
+    assert mgr2.load_latest() == (1, {"step": 1})
